@@ -1,0 +1,237 @@
+//! Per-window betweenness centrality via Brandes' algorithm (paper §3.1;
+//! Green, McColl & Bader's streaming variant is cited in §3.2 — postmortem
+//! computes the exact values per window).
+
+use tempopr_graph::{TemporalCsr, TimeRange};
+
+/// Betweenness scores of one window (unnormalized, undirected convention:
+/// each pair counted once).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BetweennessScores {
+    /// Betweenness per vertex (0 for inactive vertices).
+    pub score: Vec<f64>,
+}
+
+/// Computes exact betweenness centrality of the window `range` with
+/// Brandes' algorithm (`O(V·E)` per window on unweighted graphs).
+pub fn betweenness_window(tcsr: &TemporalCsr, range: TimeRange) -> BetweennessScores {
+    let n = tcsr.num_vertices();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut actives: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        for u in tcsr.active_neighbors(v, range) {
+            if u != v {
+                adj[v as usize].push(u);
+            }
+        }
+        if !adj[v as usize].is_empty() {
+            actives.push(v);
+        }
+    }
+    let mut score = vec![0.0f64; n];
+    let mut dist = vec![-1i32; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut order: Vec<u32> = Vec::new();
+    for &s in &actives {
+        // Reset only touched state.
+        for &v in &order {
+            dist[v as usize] = -1;
+            sigma[v as usize] = 0.0;
+            delta[v as usize] = 0.0;
+            preds[v as usize].clear();
+        }
+        dist[s as usize] = -1; // in case s was untouched last round
+        sigma[s as usize] = 0.0;
+        delta[s as usize] = 0.0;
+        preds[s as usize].clear();
+        order.clear();
+
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        order.push(s);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            let dv = dist[v as usize];
+            for &u in &adj[v as usize] {
+                if dist[u as usize] < 0 {
+                    dist[u as usize] = dv + 1;
+                    order.push(u);
+                }
+                if dist[u as usize] == dv + 1 {
+                    sigma[u as usize] += sigma[v as usize];
+                    preds[u as usize].push(v);
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        for &w in order.iter().rev() {
+            let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
+            for &p in &preds[w as usize] {
+                delta[p as usize] += sigma[p as usize] * coeff;
+            }
+            if w != s {
+                score[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    // Undirected: every pair was counted from both endpoints.
+    for x in &mut score {
+        *x /= 2.0;
+    }
+    BetweennessScores { score }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempopr_graph::Event;
+
+    fn ev(u: u32, v: u32, t: i64) -> Event {
+        Event::new(u, v, t)
+    }
+
+    #[test]
+    fn path_graph_known_values() {
+        // 0 - 1 - 2: vertex 1 lies on the single (0,2) shortest path.
+        let t = TemporalCsr::from_events(3, &[ev(0, 1, 1), ev(1, 2, 1)], true);
+        let b = betweenness_window(&t, TimeRange::new(0, 10));
+        assert!((b.score[1] - 1.0).abs() < 1e-12);
+        assert_eq!(b.score[0], 0.0);
+        assert_eq!(b.score[2], 0.0);
+    }
+
+    #[test]
+    fn star_center_carries_all_pairs() {
+        // Star with 4 leaves: center on C(4,2) = 6 pairs.
+        let events: Vec<Event> = (1..5).map(|v| ev(0, v, 1)).collect();
+        let t = TemporalCsr::from_events(5, &events, true);
+        let b = betweenness_window(&t, TimeRange::new(0, 10));
+        assert!((b.score[0] - 6.0).abs() < 1e-12);
+        for leaf in 1..5 {
+            assert_eq!(b.score[leaf], 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_splits_shortest_paths() {
+        // 4-cycle: two shortest paths between opposite corners, each
+        // mid-vertex gets 1/2 per opposite pair -> each vertex 0.5.
+        let t = TemporalCsr::from_events(
+            4,
+            &[ev(0, 1, 1), ev(1, 2, 1), ev(2, 3, 1), ev(3, 0, 1)],
+            true,
+        );
+        let b = betweenness_window(&t, TimeRange::new(0, 10));
+        for v in 0..4 {
+            assert!(
+                (b.score[v] - 0.5).abs() < 1e-12,
+                "vertex {v}: {}",
+                b.score[v]
+            );
+        }
+    }
+
+    #[test]
+    fn window_filter_reroutes_paths() {
+        // Square with a late diagonal: once the diagonal (0,2) appears,
+        // vertex 1 and 3 lose their brokerage.
+        let t = TemporalCsr::from_events(
+            4,
+            &[
+                ev(0, 1, 1),
+                ev(1, 2, 1),
+                ev(2, 3, 1),
+                ev(3, 0, 1),
+                ev(0, 2, 50),
+            ],
+            true,
+        );
+        let early = betweenness_window(&t, TimeRange::new(0, 10));
+        let late = betweenness_window(&t, TimeRange::new(0, 100));
+        // Pair (0,2) no longer routes through 1 or 3.
+        assert!(late.score[1] < early.score[1]);
+        assert_eq!(late.score[1], 0.0);
+        // Vertex 0 still brokers exactly the (1,3) pair (score 0.5).
+        assert!((late.score[0] - early.score[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_bruteforce_path_counting() {
+        // Brute force: for each pair (s, t), v lies on a shortest path iff
+        // d(s,v) + d(v,t) = d(s,t); its share is σ_s(v)·σ_t(v)/σ_s(t).
+        let mut events = Vec::new();
+        for i in 0..60u32 {
+            let u = (i * 13 + 1) % 12;
+            let v = (i * 7 + 5) % 12;
+            if u != v {
+                events.push(ev(u, v, 1));
+            }
+        }
+        let t = TemporalCsr::from_events(12, &events, true);
+        let range = TimeRange::new(0, 10);
+        let got = betweenness_window(&t, range);
+
+        let n = 12usize;
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n as u32 {
+            for u in t.active_neighbors(v, range) {
+                if u != v {
+                    adj[v as usize].push(u as usize);
+                }
+            }
+        }
+        let bfs = |s: usize| -> (Vec<i32>, Vec<f64>) {
+            let mut dist = vec![-1i32; n];
+            let mut cnt = vec![0.0f64; n];
+            dist[s] = 0;
+            cnt[s] = 1.0;
+            let mut q = std::collections::VecDeque::from([s]);
+            while let Some(v) = q.pop_front() {
+                let dv = dist[v];
+                for &u in &adj[v] {
+                    if dist[u] < 0 {
+                        dist[u] = dv + 1;
+                        q.push_back(u);
+                    }
+                    if dist[u] == dv + 1 {
+                        cnt[u] += cnt[v];
+                    }
+                }
+            }
+            (dist, cnt)
+        };
+        let all: Vec<(Vec<i32>, Vec<f64>)> = (0..n).map(bfs).collect();
+        let mut expect = vec![0.0f64; n];
+        for s in 0..n {
+            for tgt in (s + 1)..n {
+                let (ds, cs) = &all[s];
+                let (dt, ct) = &all[tgt];
+                if ds[tgt] < 0 {
+                    continue;
+                }
+                for v in 0..n {
+                    if v == s || v == tgt || ds[v] < 0 || dt[v] < 0 {
+                        continue;
+                    }
+                    if ds[v] + dt[v] == ds[tgt] {
+                        expect[v] += cs[v] * ct[v] / cs[tgt];
+                    }
+                }
+            }
+        }
+        for (v, (g, e)) in got.score.iter().zip(expect.iter()).enumerate() {
+            assert!((g - e).abs() < 1e-9, "vertex {v}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn empty_window_all_zero() {
+        let t = TemporalCsr::from_events(3, &[ev(0, 1, 5)], true);
+        let b = betweenness_window(&t, TimeRange::new(50, 60));
+        assert!(b.score.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Connected components of one window of a temporal CSR.
+//!
+//! The paper (§3.1) lists connected components among the kernels a
+//! postmortem sliding-window analysis can drive besides PageRank. The
+//! implementation is a weighted union-find with path halving over the
+//! window's active edges, traversed straight off the temporal CSR.
+
+use tempopr_graph::{TemporalCsr, TimeRange, VertexId};
+
+/// Component labelling of one window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// Component id per vertex (`u32::MAX` for vertices inactive in the
+    /// window). Ids are the smallest vertex of the component.
+    pub label: Vec<u32>,
+    /// Number of components among active vertices.
+    pub count: usize,
+    /// Size of the largest component (0 for an empty window).
+    pub largest: usize,
+}
+
+/// Union-find with union by size and path halving.
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let g = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = g;
+            v = g;
+        }
+        v
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Computes the connected components of the window `range`.
+pub fn components_window(tcsr: &TemporalCsr, range: TimeRange) -> ComponentLabels {
+    let n = tcsr.num_vertices();
+    let mut dsu = Dsu::new(n);
+    let mut active = vec![false; n];
+    for v in 0..n as u32 {
+        for u in tcsr.active_neighbors(v, range) {
+            active[v as usize] = true;
+            active[u as usize] = true;
+            dsu.union(v, u);
+        }
+    }
+    // Canonical labels: smallest vertex of each component.
+    let mut label = vec![u32::MAX; n];
+    let mut canon = vec![u32::MAX; n];
+    let mut sizes = vec![0usize; n];
+    let mut count = 0usize;
+    for v in 0..n as u32 {
+        if !active[v as usize] {
+            continue;
+        }
+        let r = dsu.find(v) as usize;
+        if canon[r] == u32::MAX {
+            canon[r] = v; // first (smallest) active vertex of the root
+            count += 1;
+        }
+        label[v as usize] = canon[r];
+        sizes[canon[r] as usize] += 1;
+    }
+    let largest = sizes.iter().copied().max().unwrap_or(0);
+    ComponentLabels {
+        label,
+        count,
+        largest,
+    }
+}
+
+/// Whether two vertices are connected in the window (both active and in
+/// the same component).
+pub fn connected(labels: &ComponentLabels, a: VertexId, b: VertexId) -> bool {
+    let la = labels.label[a as usize];
+    la != u32::MAX && la == labels.label[b as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempopr_graph::Event;
+
+    fn ev(u: u32, v: u32, t: i64) -> Event {
+        Event::new(u, v, t)
+    }
+
+    #[test]
+    fn two_components_plus_isolated() {
+        let t = TemporalCsr::from_events(6, &[ev(0, 1, 1), ev(1, 2, 2), ev(3, 4, 3)], true);
+        let c = components_window(&t, TimeRange::new(0, 10));
+        assert_eq!(c.count, 2);
+        assert_eq!(c.largest, 3);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[1], c.label[2]);
+        assert_eq!(c.label[3], c.label[4]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_eq!(c.label[5], u32::MAX, "vertex 5 is inactive");
+        assert!(connected(&c, 0, 2));
+        assert!(!connected(&c, 0, 3));
+        assert!(!connected(&c, 0, 5));
+    }
+
+    #[test]
+    fn window_filter_splits_components() {
+        // Edge (1,2) only exists late; the early window sees two pieces.
+        let t = TemporalCsr::from_events(4, &[ev(0, 1, 1), ev(2, 3, 1), ev(1, 2, 100)], true);
+        let early = components_window(&t, TimeRange::new(0, 10));
+        assert_eq!(early.count, 2);
+        let late = components_window(&t, TimeRange::new(0, 200));
+        assert_eq!(late.count, 1);
+        assert_eq!(late.largest, 4);
+    }
+
+    #[test]
+    fn empty_window() {
+        let t = TemporalCsr::from_events(3, &[ev(0, 1, 5)], true);
+        let c = components_window(&t, TimeRange::new(10, 20));
+        assert_eq!(c.count, 0);
+        assert_eq!(c.largest, 0);
+        assert!(c.label.iter().all(|&l| l == u32::MAX));
+    }
+
+    #[test]
+    fn labels_are_smallest_member() {
+        let t = TemporalCsr::from_events(5, &[ev(4, 2, 1), ev(2, 3, 1)], true);
+        let c = components_window(&t, TimeRange::new(0, 10));
+        assert_eq!(c.label[2], 2);
+        assert_eq!(c.label[3], 2);
+        assert_eq!(c.label[4], 2);
+    }
+
+    #[test]
+    fn matches_bruteforce_bfs_on_random_graph() {
+        let mut events = Vec::new();
+        for i in 0..200u32 {
+            events.push(ev((i * 13 + 1) % 30, (i * 7 + 5) % 30, (i % 50) as i64));
+        }
+        let t = TemporalCsr::from_events(30, &events, true);
+        let range = TimeRange::new(10, 35);
+        let c = components_window(&t, range);
+        // Brute-force BFS.
+        let mut adj = vec![Vec::new(); 30];
+        for e in &events {
+            if range.contains(e.t) && e.u != e.v {
+                adj[e.u as usize].push(e.v);
+                adj[e.v as usize].push(e.u);
+            }
+        }
+        let mut seen = [u32::MAX; 30];
+        for s in 0..30u32 {
+            if adj[s as usize].is_empty() || seen[s as usize] != u32::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            seen[s as usize] = s;
+            while let Some(v) = stack.pop() {
+                for &u in &adj[v as usize] {
+                    if seen[u as usize] == u32::MAX {
+                        seen[u as usize] = s;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        for (v, (&l, &sn)) in c.label.iter().zip(seen.iter()).enumerate() {
+            assert_eq!(l == u32::MAX, sn == u32::MAX, "activity of {v}");
+        }
+        // Same partition (labels may differ; compare pairwise on a sample).
+        for a in 0..30u32 {
+            for b in 0..30u32 {
+                if seen[a as usize] != u32::MAX && seen[b as usize] != u32::MAX {
+                    assert_eq!(
+                        seen[a as usize] == seen[b as usize],
+                        connected(&c, a, b),
+                        "pair ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+}

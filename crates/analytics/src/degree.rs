@@ -1,0 +1,131 @@
+//! Per-window degree statistics (the analysis HyperHeadTail estimates
+//! under streaming constraints — paper §3.2; postmortem computes it
+//! exactly).
+
+use tempopr_graph::{TemporalCsr, TimeRange};
+
+/// Degree statistics of one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Histogram: `histogram[d]` = number of active vertices with degree
+    /// `d` (index 0 unused — inactive vertices are excluded).
+    pub histogram: Vec<usize>,
+    /// Number of active vertices.
+    pub active_vertices: usize,
+    /// Number of undirected active edges (Σ deg / 2 for symmetric graphs).
+    pub directed_edges: usize,
+    /// Maximum degree.
+    pub max_degree: u32,
+    /// Mean degree over active vertices (0 for an empty window).
+    pub mean_degree: f64,
+}
+
+/// Computes the degree distribution of the window `range`.
+pub fn degree_stats(tcsr: &TemporalCsr, range: TimeRange) -> DegreeStats {
+    let n = tcsr.num_vertices();
+    let mut deg = vec![0u32; n];
+    tcsr.active_degrees(range, &mut deg);
+    let max_degree = deg.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0usize; max_degree as usize + 1];
+    let mut active_vertices = 0usize;
+    let mut directed_edges = 0usize;
+    for &d in &deg {
+        if d > 0 {
+            histogram[d as usize] += 1;
+            active_vertices += 1;
+            directed_edges += d as usize;
+        }
+    }
+    let mean_degree = if active_vertices > 0 {
+        directed_edges as f64 / active_vertices as f64
+    } else {
+        0.0
+    };
+    DegreeStats {
+        histogram,
+        active_vertices,
+        directed_edges,
+        max_degree,
+        mean_degree,
+    }
+}
+
+impl DegreeStats {
+    /// The complementary cumulative distribution `P(deg >= d)` for each
+    /// degree `d` in `1..=max_degree`.
+    pub fn ccdf(&self) -> Vec<f64> {
+        if self.active_vertices == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0; self.histogram.len()];
+        let mut tail = 0usize;
+        for d in (1..self.histogram.len()).rev() {
+            tail += self.histogram[d];
+            out[d] = tail as f64 / self.active_vertices as f64;
+        }
+        out.remove(0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempopr_graph::Event;
+
+    fn ev(u: u32, v: u32, t: i64) -> Event {
+        Event::new(u, v, t)
+    }
+
+    #[test]
+    fn star_distribution() {
+        let events: Vec<Event> = (1..5).map(|v| ev(0, v, 1)).collect();
+        let t = TemporalCsr::from_events(5, &events, true);
+        let s = degree_stats(&t, TimeRange::new(0, 10));
+        assert_eq!(s.active_vertices, 5);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.histogram[1], 4);
+        assert_eq!(s.histogram[4], 1);
+        assert_eq!(s.directed_edges, 8);
+        assert!((s.mean_degree - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_events_do_not_inflate_degrees() {
+        let t = TemporalCsr::from_events(2, &[ev(0, 1, 1), ev(0, 1, 2)], true);
+        let s = degree_stats(&t, TimeRange::new(0, 10));
+        assert_eq!(s.max_degree, 1);
+        assert_eq!(s.directed_edges, 2);
+    }
+
+    #[test]
+    fn window_filtering_applies() {
+        let t = TemporalCsr::from_events(3, &[ev(0, 1, 1), ev(1, 2, 100)], true);
+        let s = degree_stats(&t, TimeRange::new(0, 10));
+        assert_eq!(s.active_vertices, 2);
+        let s = degree_stats(&t, TimeRange::new(0, 200));
+        assert_eq!(s.active_vertices, 3);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn empty_window() {
+        let t = TemporalCsr::from_events(3, &[ev(0, 1, 5)], true);
+        let s = degree_stats(&t, TimeRange::new(50, 60));
+        assert_eq!(s.active_vertices, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert!(s.ccdf().is_empty());
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_starts_at_one() {
+        let events: Vec<Event> = (1..6).map(|v| ev(0, v, 1)).chain([ev(1, 2, 1)]).collect();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let s = degree_stats(&t, TimeRange::new(0, 10));
+        let ccdf = s.ccdf();
+        assert!((ccdf[0] - 1.0).abs() < 1e-12, "P(deg>=1) = 1 over actives");
+        for w in ccdf.windows(2) {
+            assert!(w[0] >= w[1], "ccdf must be non-increasing");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Downstream time-series analysis of per-window rankings — the paper's
+//! motivating use case ("one can also be interested in understanding the
+//! nature of changes in the graph over time", §1; "applications will have
+//! a downstream analysis that will depend on these vectors", §2.2).
+//!
+//! Operates on the sparse rank vectors the engines emit: top-k extraction,
+//! overlap/churn between consecutive windows, Spearman rank correlation,
+//! and per-vertex rank trajectories.
+
+use std::collections::HashMap;
+
+/// A sparse ranking: `(vertex, score)` pairs (any score — PageRank, Katz,
+/// betweenness, ...).
+pub type Ranking<'a> = (&'a [u32], &'a [f64]);
+
+/// The `k` highest-scored vertices, descending by score (ties broken by
+/// vertex id for determinism).
+///
+/// ```
+/// use tempopr_analytics::evolution::top_k;
+/// let t = top_k(&[4, 7, 9], &[0.2, 0.5, 0.3], 2);
+/// assert_eq!(t, vec![(7, 0.5), (9, 0.3)]);
+/// ```
+pub fn top_k(vertices: &[u32], values: &[f64], k: usize) -> Vec<(u32, f64)> {
+    assert_eq!(vertices.len(), values.len());
+    let mut pairs: Vec<(u32, f64)> = vertices
+        .iter()
+        .copied()
+        .zip(values.iter().copied())
+        .collect();
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+/// Jaccard similarity of the top-`k` vertex sets of two rankings — the
+/// standard "how much did the head of the ranking change" measure.
+pub fn topk_jaccard(a: Ranking<'_>, b: Ranking<'_>, k: usize) -> f64 {
+    let ta: Vec<u32> = top_k(a.0, a.1, k).into_iter().map(|p| p.0).collect();
+    let tb: Vec<u32> = top_k(b.0, b.1, k).into_iter().map(|p| p.0).collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<u32> = ta.into_iter().collect();
+    let sb: std::collections::HashSet<u32> = tb.into_iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Spearman rank correlation over the vertices present in *both* rankings
+/// (`None` if fewer than 2 shared vertices). Average ranks for ties.
+pub fn spearman(a: Ranking<'_>, b: Ranking<'_>) -> Option<f64> {
+    let rank_a = fractional_ranks(a.0, a.1);
+    let rank_b = fractional_ranks(b.0, b.1);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (v, ra) in &rank_a {
+        if let Some(rb) = rank_b.get(v) {
+            xs.push(*ra);
+            ys.push(*rb);
+        }
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    pearson(&xs, &ys)
+}
+
+/// Fractional (average-for-ties) ranks of a scored vertex set, best = 1.
+fn fractional_ranks(vertices: &[u32], values: &[f64]) -> HashMap<u32, f64> {
+    let mut pairs: Vec<(u32, f64)> = vertices
+        .iter()
+        .copied()
+        .zip(values.iter().copied())
+        .collect();
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut out = HashMap::with_capacity(pairs.len());
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].1 == pairs[i].1 {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for p in &pairs[i..=j] {
+            out.insert(p.0, avg);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// One step of the churn time series between consecutive windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnStep {
+    /// The later window's index.
+    pub window: usize,
+    /// Top-k Jaccard similarity with the previous window.
+    pub topk_jaccard: f64,
+    /// Spearman correlation with the previous window (`None` when the
+    /// shared support is too small).
+    pub spearman: Option<f64>,
+    /// Vertices that entered the top-k.
+    pub entered: Vec<u32>,
+    /// Vertices that left the top-k.
+    pub left: Vec<u32>,
+}
+
+/// Computes the churn series over a sequence of per-window sparse rankings
+/// (as `(vertices, values)` pairs in window order).
+pub fn churn_series(rankings: &[(Vec<u32>, Vec<f64>)], k: usize) -> Vec<ChurnStep> {
+    let mut out = Vec::new();
+    for w in 1..rankings.len() {
+        let prev = (&rankings[w - 1].0[..], &rankings[w - 1].1[..]);
+        let cur = (&rankings[w].0[..], &rankings[w].1[..]);
+        let tp: Vec<u32> = top_k(prev.0, prev.1, k).into_iter().map(|p| p.0).collect();
+        let tc: Vec<u32> = top_k(cur.0, cur.1, k).into_iter().map(|p| p.0).collect();
+        let sp: std::collections::HashSet<u32> = tp.iter().copied().collect();
+        let sc: std::collections::HashSet<u32> = tc.iter().copied().collect();
+        let mut entered: Vec<u32> = sc.difference(&sp).copied().collect();
+        let mut left: Vec<u32> = sp.difference(&sc).copied().collect();
+        entered.sort_unstable();
+        left.sort_unstable();
+        out.push(ChurnStep {
+            window: w,
+            topk_jaccard: topk_jaccard(prev, cur, k),
+            spearman: spearman(prev, cur),
+            entered,
+            left,
+        });
+    }
+    out
+}
+
+/// The rank trajectory of one vertex across windows: its score per window
+/// (0 where absent).
+pub fn trajectory(rankings: &[(Vec<u32>, Vec<f64>)], vertex: u32) -> Vec<f64> {
+    rankings
+        .iter()
+        .map(|(vs, xs)| match vs.binary_search(&vertex) {
+            Ok(i) => xs[i],
+            Err(_) => 0.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(pairs: &[(u32, f64)]) -> (Vec<u32>, Vec<f64>) {
+        (
+            pairs.iter().map(|p| p.0).collect(),
+            pairs.iter().map(|p| p.1).collect(),
+        )
+    }
+
+    #[test]
+    fn top_k_orders_and_breaks_ties_by_id() {
+        let (v, x) = r(&[(0, 0.2), (1, 0.5), (2, 0.2), (3, 0.1)]);
+        let t = top_k(&v, &x, 3);
+        assert_eq!(t, vec![(1, 0.5), (0, 0.2), (2, 0.2)]);
+        assert_eq!(top_k(&v, &x, 10).len(), 4);
+    }
+
+    #[test]
+    fn jaccard_extremes() {
+        let a = r(&[(0, 0.6), (1, 0.4)]);
+        let b = r(&[(0, 0.4), (1, 0.6)]);
+        let c = r(&[(2, 0.5), (3, 0.5)]);
+        assert_eq!(topk_jaccard((&a.0, &a.1), (&b.0, &b.1), 2), 1.0);
+        assert_eq!(topk_jaccard((&a.0, &a.1), (&c.0, &c.1), 2), 0.0);
+        let empty = r(&[]);
+        assert_eq!(
+            topk_jaccard((&empty.0, &empty.1), (&empty.0, &empty.1), 3),
+            1.0
+        );
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverted() {
+        let a = r(&[(0, 3.0), (1, 2.0), (2, 1.0)]);
+        let b = r(&[(0, 30.0), (1, 20.0), (2, 10.0)]);
+        assert!((spearman((&a.0, &a.1), (&b.0, &b.1)).unwrap() - 1.0).abs() < 1e-12);
+        let c = r(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        assert!((spearman((&a.0, &a.1), (&c.0, &c.1)).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_partial_overlap_and_small_support() {
+        let a = r(&[(0, 3.0), (1, 2.0), (2, 1.0), (9, 5.0)]);
+        let b = r(&[(0, 9.0), (1, 5.0), (2, 1.0), (8, 7.0)]);
+        // Shared support {0,1,2}: concordant ordering, but the outside
+        // vertices (9, 8) shift the within-set ranks, so the correlation is
+        // high yet not exactly 1 (analytically ≈ 0.982).
+        let rho = spearman((&a.0, &a.1), (&b.0, &b.1)).unwrap();
+        assert!(rho > 0.9 && rho < 1.0, "rho = {rho}");
+        let tiny = r(&[(0, 1.0)]);
+        assert_eq!(spearman((&a.0, &a.1), (&tiny.0, &tiny.1)), None);
+    }
+
+    #[test]
+    fn spearman_averages_ties() {
+        // All-tied ranking has zero variance -> None.
+        let a = r(&[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = r(&[(0, 3.0), (1, 2.0), (2, 1.0)]);
+        assert_eq!(spearman((&a.0, &a.1), (&b.0, &b.1)), None);
+    }
+
+    #[test]
+    fn churn_series_tracks_entries_and_exits() {
+        let w0 = r(&[(0, 0.5), (1, 0.3), (2, 0.2)]);
+        let w1 = r(&[(0, 0.5), (3, 0.3), (2, 0.2)]);
+        let steps = churn_series(&[w0, w1], 2);
+        assert_eq!(steps.len(), 1);
+        let s = &steps[0];
+        assert_eq!(s.window, 1);
+        assert_eq!(s.entered, vec![3]);
+        assert_eq!(s.left, vec![1]);
+        assert!((s.topk_jaccard - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_reads_scores_and_absences() {
+        let w0 = r(&[(0, 0.5), (2, 0.5)]);
+        let w1 = r(&[(2, 1.0)]);
+        let w2 = r(&[(0, 0.1), (1, 0.9)]);
+        let t = trajectory(&[w0, w1, w2], 0);
+        assert_eq!(t, vec![0.5, 0.0, 0.1]);
+        let t = trajectory(&[], 0);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! k-core decomposition of one window (paper §3.1, §3.2: Sarıyüce et al.'s
+//! streaming k-core and Gabert et al.'s postmortem dense-region analysis).
+//!
+//! The core number of a vertex is the largest `k` such that the vertex
+//! belongs to a subgraph where every vertex has degree ≥ `k`. Computed by
+//! the classic Matula–Beck bucket peeling in `O(V + E)` over the window's
+//! active adjacency.
+
+use tempopr_graph::{TemporalCsr, TimeRange};
+
+/// Core number per vertex (`0` for vertices inactive in the window —
+/// distinguishable from an active degree-ge-1 vertex whose core is ≥ 1,
+/// because an active vertex always has at least one neighbor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreNumbers {
+    /// Core number per vertex.
+    pub core: Vec<u32>,
+    /// The maximum core number (degeneracy) of the window.
+    pub degeneracy: u32,
+}
+
+/// Computes the k-core decomposition of the window `range`. Self-loops
+/// are ignored (a vertex is never its own core neighbor).
+pub fn kcore_window(tcsr: &TemporalCsr, range: TimeRange) -> CoreNumbers {
+    let n = tcsr.num_vertices();
+    // Degrees excluding self-loops (peeling needs repeated neighbor access
+    // and mutable degrees).
+    let mut deg = vec![0u32; n];
+    for (v, d) in deg.iter_mut().enumerate() {
+        *d = tcsr
+            .active_neighbors(v as u32, range)
+            .filter(|&u| u != v as u32)
+            .count() as u32;
+    }
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+    if max_deg == 0 {
+        return CoreNumbers {
+            core: vec![0; n],
+            degeneracy: 0,
+        };
+    }
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 0..max_deg + 1 {
+        bin[i + 1] += bin[i];
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0u32; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = deg[v] as usize;
+            pos[v] = cursor[d];
+            vert[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+    // bin[d] = first index in `vert` of degree d.
+    let mut core = deg.clone();
+    let mut start = bin;
+    for i in 0..n {
+        let v = vert[i] as usize;
+        // v is peeled with current degree = its core number.
+        for u in tcsr.active_neighbors(v as u32, range) {
+            if u as usize == v {
+                continue;
+            }
+            let u = u as usize;
+            if core[u] > core[v] {
+                // Move u one bucket down: swap with the first vertex of
+                // its current bucket.
+                let du = core[u] as usize;
+                let pu = pos[u];
+                let pw = start[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                start[du] += 1;
+                core[u] -= 1;
+            }
+        }
+    }
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    CoreNumbers { core, degeneracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempopr_graph::Event;
+
+    fn ev(u: u32, v: u32, t: i64) -> Event {
+        Event::new(u, v, t)
+    }
+
+    /// Brute-force core numbers by repeated minimum peeling.
+    fn brute_core(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+        }
+        let mut alive: Vec<bool> = (0..n).map(|v| !adj[v].is_empty()).collect();
+        let mut deg: Vec<usize> = adj.iter().map(|a| a.len()).collect();
+        let mut core = vec![0u32; n];
+        let mut k = 0u32;
+        loop {
+            let remaining: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let min_deg = remaining.iter().map(|&v| deg[v]).min().unwrap() as u32;
+            k = k.max(min_deg);
+            // Peel every alive vertex with degree <= k.
+            let mut queue: Vec<usize> = remaining
+                .into_iter()
+                .filter(|&v| deg[v] <= k as usize)
+                .collect();
+            while let Some(v) = queue.pop() {
+                if !alive[v] {
+                    continue;
+                }
+                alive[v] = false;
+                core[v] = k;
+                for &u in &adj[v] {
+                    let u = u as usize;
+                    if alive[u] {
+                        deg[u] -= 1;
+                        if deg[u] <= k as usize {
+                            queue.push(u);
+                        }
+                    }
+                }
+            }
+        }
+        core
+    }
+
+    fn sym(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for &(u, v) in edges {
+            out.push((u, v));
+            out.push((v, u));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 (core 2) with a pendant 3 (core 1).
+        let t = TemporalCsr::from_events(
+            4,
+            &[ev(0, 1, 1), ev(1, 2, 1), ev(2, 0, 1), ev(2, 3, 1)],
+            true,
+        );
+        let c = kcore_window(&t, TimeRange::new(0, 10));
+        assert_eq!(c.core, vec![2, 2, 2, 1]);
+        assert_eq!(c.degeneracy, 2);
+    }
+
+    #[test]
+    fn clique_core_is_size_minus_one() {
+        let mut events = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                events.push(ev(u, v, 1));
+            }
+        }
+        let t = TemporalCsr::from_events(6, &events, true);
+        let c = kcore_window(&t, TimeRange::new(0, 10));
+        assert_eq!(c.degeneracy, 4);
+        for v in 0..5 {
+            assert_eq!(c.core[v], 4);
+        }
+        assert_eq!(c.core[5], 0);
+    }
+
+    #[test]
+    fn window_filter_changes_cores() {
+        // Triangle only complete late.
+        let t = TemporalCsr::from_events(3, &[ev(0, 1, 1), ev(1, 2, 1), ev(2, 0, 50)], true);
+        let early = kcore_window(&t, TimeRange::new(0, 10));
+        assert_eq!(early.degeneracy, 1);
+        let late = kcore_window(&t, TimeRange::new(0, 100));
+        assert_eq!(late.degeneracy, 2);
+    }
+
+    #[test]
+    fn self_loops_do_not_inflate_cores() {
+        let t = TemporalCsr::from_events(3, &[ev(0, 0, 1), ev(0, 1, 1)], true);
+        let c = kcore_window(&t, TimeRange::new(0, 10));
+        assert_eq!(c.core, vec![1, 1, 0]);
+        // Pure self-loop vertex: active but core 0.
+        let t = TemporalCsr::from_events(2, &[ev(0, 0, 1)], true);
+        let c = kcore_window(&t, TimeRange::new(0, 10));
+        assert_eq!(c.core, vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_window_all_zero() {
+        let t = TemporalCsr::from_events(3, &[ev(0, 1, 5)], true);
+        let c = kcore_window(&t, TimeRange::new(50, 60));
+        assert_eq!(c.core, vec![0, 0, 0]);
+        assert_eq!(c.degeneracy, 0);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        for seed in 0..5u32 {
+            let mut events = Vec::new();
+            for i in 0..150u32 {
+                let u = (i * 13 + seed) % 25;
+                let v = (i * 7 + 3 * seed + 1) % 25;
+                if u != v {
+                    events.push(ev(u, v, (i % 40) as i64));
+                }
+            }
+            let t = TemporalCsr::from_events(25, &events, true);
+            let range = TimeRange::new(5, 30);
+            let got = kcore_window(&t, range);
+            let edges: Vec<(u32, u32)> = events
+                .iter()
+                .filter(|e| range.contains(e.t))
+                .map(|e| (e.u, e.v))
+                .collect();
+            let expect = brute_core(25, &sym(&edges));
+            assert_eq!(got.core, expect, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # tempopr-analytics
+//!
+//! Postmortem temporal graph analyses beyond PageRank. The paper (§3.1)
+//! notes the sliding-window temporal graph "could be analyzed ... using
+//! other kernels like closeness and betweenness centrality, connecting
+//! component, k-core"; this crate supplies the structural ones, driven by
+//! the same multi-window temporal CSR as the PageRank engine:
+//!
+//! - [`components`]: connected components per window (union-find);
+//! - [`kcore`]: k-core decomposition per window (Matula–Beck peeling);
+//! - [`degree`]: exact degree distributions (what HyperHeadTail estimates
+//!   under streaming constraints);
+//! - [`triangles`]: exact triangle counts (what streaming edge-sampling
+//!   estimates);
+//! - [`closeness`] / [`betweenness`]: exact per-window centralities
+//!   (Brandes; BFS with optional source sampling);
+//! - [`engine`]: the across-window postmortem driver;
+//! - [`evolution`]: downstream rank-change analysis (top-k churn,
+//!   Spearman correlation, trajectories) — the paper's motivating
+//!   "changes over time" use case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod betweenness;
+pub mod closeness;
+pub mod components;
+pub mod degree;
+pub mod engine;
+pub mod evolution;
+pub mod katz;
+pub mod kcore;
+pub mod triangles;
+
+pub use betweenness::{betweenness_window, BetweennessScores};
+pub use closeness::{closeness_window, ClosenessScores};
+pub use components::{components_window, connected, ComponentLabels};
+pub use degree::{degree_stats, DegreeStats};
+pub use engine::{temporal_structure, StructureConfig, StructureSummary};
+pub use evolution::{churn_series, spearman, top_k, topk_jaccard, trajectory, ChurnStep};
+pub use katz::{katz_window, KatzConfig, KatzScores};
+pub use kcore::{kcore_window, CoreNumbers};
+pub use triangles::triangles_window;

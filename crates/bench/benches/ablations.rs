@@ -1,0 +1,97 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! - per-vertex time-bounds pruning in the window degree pass (on a spiky
+//!   dataset most windows exclude most vertices, so the constant-time
+//!   pre-check should pay);
+//! - equal-windows vs equal-events multi-window partitioning (the paper's
+//!   §7 future work);
+//! - SpMM vector length (1 = SpMV-like .. 32).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{bench_workload, postmortem};
+use tempopr_core::{KernelKind, PostmortemConfig};
+use tempopr_datagen::Dataset;
+use tempopr_graph::{PartitionStrategy, TemporalCsr};
+
+fn bench_pruning(c: &mut Criterion) {
+    let (log, spec) = bench_workload(Dataset::Enron, 64);
+    let tcsr = TemporalCsr::from_log(&log, true);
+    let mut g = c.benchmark_group("ablation_time_bounds_pruning");
+    g.bench_function("pruned_degree_pass", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in 0..spec.count {
+                let range = spec.window(w);
+                for v in 0..tcsr.num_vertices() as u32 {
+                    total += tcsr.active_degree(v, range);
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+    g.bench_function("unpruned_degree_pass", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in 0..spec.count {
+                let range = spec.window(w);
+                for v in 0..tcsr.num_vertices() as u32 {
+                    total += tcsr.active_degree_unpruned(v, range);
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_partition_strategy(c: &mut Criterion) {
+    let (log, spec) = bench_workload(Dataset::Epinions, 64);
+    let mut g = c.benchmark_group("ablation_partition_strategy");
+    for (label, strategy) in [
+        ("equal_windows", PartitionStrategy::EqualWindows),
+        ("equal_events", PartitionStrategy::EqualEvents),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = PostmortemConfig {
+                    partition: strategy,
+                    ..Default::default()
+                };
+                std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmm_lanes(c: &mut Criterion) {
+    let (log, spec) = bench_workload(Dataset::HepTh, 64);
+    let mut g = c.benchmark_group("ablation_spmm_lanes");
+    for lanes in [1usize, 4, 8, 16, 32] {
+        g.bench_function(format!("lanes{lanes}"), |b| {
+            b.iter(|| {
+                let cfg = PostmortemConfig {
+                    kernel: KernelKind::SpMM { lanes },
+                    ..Default::default()
+                };
+                std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pruning, bench_partition_strategy, bench_spmm_lanes
+}
+criterion_main!(benches);

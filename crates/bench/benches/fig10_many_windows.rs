@@ -1,0 +1,56 @@
+//! Figure 10: the sweep of Fig. 7 in the many-windows regime, where
+//! window-level parallelism has plenty of work units.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{bench_workload, postmortem};
+use tempopr_core::{KernelKind, ParallelMode, PostmortemConfig};
+use tempopr_datagen::Dataset;
+use tempopr_kernel::{Partitioner, Scheduler};
+
+fn bench(c: &mut Criterion) {
+    let (log, spec) = bench_workload(Dataset::WikiTalk, 256);
+    let mut g = c.benchmark_group("fig10_many_windows");
+    for mode in [
+        ParallelMode::Nested,
+        ParallelMode::ApplicationLevel,
+        ParallelMode::WindowLevel,
+    ] {
+        for kernel in [KernelKind::SpMM { lanes: 16 }, KernelKind::SpMV] {
+            let kname = match kernel {
+                KernelKind::SpMV => "spmv",
+                KernelKind::SpMM { .. } => "spmm",
+                KernelKind::PushBlocking => "block",
+            };
+            for granularity in [1usize, 32] {
+                g.bench_function(format!("{mode:?}/{kname}/g{granularity}"), |b| {
+                    b.iter(|| {
+                        let cfg = PostmortemConfig {
+                            mode,
+                            kernel,
+                            scheduler: Scheduler::new(Partitioner::Auto, granularity),
+                            num_multiwindows: 32,
+                            ..Default::default()
+                        };
+                        std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 11: postmortem (best simple config) vs streaming on every
+//! dataset — the heatmap's underlying pair of measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{bench_workload, postmortem, streaming};
+use tempopr_core::PostmortemConfig;
+use tempopr_datagen::Dataset;
+
+fn bench(c: &mut Criterion) {
+    for dataset in Dataset::all() {
+        let (log, spec) = bench_workload(dataset, 32);
+        let mut g = c.benchmark_group(format!("fig11_best_speedup/{}", dataset.name()));
+        g.bench_function("streaming", |b| {
+            b.iter(|| std::hint::black_box(streaming(&log, spec).total_iterations()))
+        });
+        g.bench_function("postmortem", |b| {
+            b.iter(|| {
+                let cfg = PostmortemConfig {
+                    num_multiwindows: tempopr_core::suggested_multiwindows(spec.count),
+                    ..Default::default()
+                };
+                std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+            })
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

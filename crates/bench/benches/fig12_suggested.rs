@@ -1,0 +1,46 @@
+//! Figure 12: the advisor's suggested parameters vs the library default
+//! and the untuned bare-bone config, on wiki-talk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{bench_workload, postmortem};
+use tempopr_core::{suggest, PostmortemConfig};
+use tempopr_datagen::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let (log, spec) = bench_workload(Dataset::WikiTalk, 64);
+    let suggested = suggest(&log, &spec, 0);
+    let mut g = c.benchmark_group("fig12_suggested");
+    g.bench_function("suggested", |b| {
+        b.iter(|| std::hint::black_box(postmortem(&log, spec, suggested).total_iterations()))
+    });
+    g.bench_function("default", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                postmortem(&log, spec, PostmortemConfig::default()).total_iterations(),
+            )
+        })
+    });
+    g.bench_function("bare_bone", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                postmortem(&log, spec, PostmortemConfig::bare_bone()).total_iterations(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 4: per-window edge-count series (active edge counting over the
+//! temporal CSR, the measurement behind the seven distribution panels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::bench_workload;
+use tempopr_datagen::Dataset;
+use tempopr_graph::TemporalCsr;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_edge_distribution");
+    for d in [Dataset::Enron, Dataset::WikiTalk, Dataset::Epinions] {
+        let (log, spec) = bench_workload(d, 40);
+        let tcsr = TemporalCsr::from_log(&log, true);
+        g.bench_function(d.name(), |b| {
+            b.iter(|| {
+                let total: usize = (0..spec.count)
+                    .map(|w| tcsr.active_edge_count(spec.window(w)))
+                    .sum();
+                std::hint::black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

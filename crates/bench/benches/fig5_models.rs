@@ -1,0 +1,51 @@
+//! Figure 5: Offline vs Streaming vs Postmortem on the same sliding-window
+//! workload. The postmortem entry uses the paper's untuned "bare-bone"
+//! configuration, as in the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{bench_workload, offline, postmortem, streaming};
+use tempopr_core::PostmortemConfig;
+use tempopr_datagen::Dataset;
+
+fn bench(c: &mut Criterion) {
+    for dataset in [Dataset::Enron, Dataset::WikiTalk] {
+        let (log, spec) = bench_workload(dataset, 48);
+        let mut g = c.benchmark_group(format!("fig5_models/{}", dataset.name()));
+        g.bench_function("offline", |b| {
+            b.iter(|| std::hint::black_box(offline(&log, spec).total_iterations()))
+        });
+        g.bench_function("streaming", |b| {
+            b.iter(|| std::hint::black_box(streaming(&log, spec).total_iterations()))
+        });
+        g.bench_function("postmortem_bare_bone", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    postmortem(&log, spec, PostmortemConfig::bare_bone()).total_iterations(),
+                )
+            })
+        });
+        g.bench_function("postmortem_default", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    postmortem(&log, spec, PostmortemConfig::default()).total_iterations(),
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 6: full vs partial initialization (SpMV, application-level), on
+//! the two datasets the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{bench_workload, postmortem};
+use tempopr_core::{KernelKind, ParallelMode, PostmortemConfig};
+use tempopr_datagen::Dataset;
+
+fn bench(c: &mut Criterion) {
+    for dataset in [Dataset::StackOverflow, Dataset::WikiTalk] {
+        let (log, spec) = bench_workload(dataset, 64);
+        let mut g = c.benchmark_group(format!("fig6_partial_init/{}", dataset.name()));
+        for (label, partial) in [("full_init", false), ("partial_init", true)] {
+            g.bench_function(label, |b| {
+                b.iter(|| {
+                    let cfg = PostmortemConfig {
+                        kernel: KernelKind::SpMV,
+                        mode: ParallelMode::ApplicationLevel,
+                        partial_init: partial,
+                        ..Default::default()
+                    };
+                    std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

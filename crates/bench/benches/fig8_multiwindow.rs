@@ -1,0 +1,44 @@
+//! Figure 8: impact of the number of multi-window graphs (auto
+//! partitioner, SpMV kernel — see the CLI fig8 note on the SpMM
+//! interplay), sweeping Y on a fixed wiki-talk workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{bench_workload, postmortem};
+use tempopr_core::{ParallelMode, PostmortemConfig};
+use tempopr_datagen::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let (log, spec) = bench_workload(Dataset::WikiTalk, 96);
+    for mode in [ParallelMode::ApplicationLevel, ParallelMode::Nested] {
+        let mut g = c.benchmark_group(format!("fig8_multiwindow/{mode:?}"));
+        for mw in [1usize, 6, 16, 48, 96] {
+            g.bench_function(format!("mw{mw}"), |b| {
+                b.iter(|| {
+                    let cfg = PostmortemConfig {
+                        mode,
+                        kernel: tempopr_core::KernelKind::SpMV,
+                        num_multiwindows: mw,
+                        ..Default::default()
+                    };
+                    std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

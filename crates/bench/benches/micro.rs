@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the data structures underlying the experiments:
+//! temporal-CSR construction and traversal, static CSR rebuilds (the
+//! offline model's inner loop), and streaming-store update throughput (the
+//! streaming model's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{BENCH_SCALE, BENCH_SEED};
+use tempopr_datagen::Dataset;
+use tempopr_graph::{Csr, TemporalCsr, TimeRange};
+use tempopr_stream::StreamingGraph;
+
+fn bench(c: &mut Criterion) {
+    let log = Dataset::WikiTalk.spec().generate(BENCH_SCALE, BENCH_SEED);
+    let span = log.last_time() - log.first_time();
+    let window = TimeRange::new(log.first_time() + span / 4, log.first_time() + span / 2);
+
+    let mut g = c.benchmark_group("micro");
+
+    g.bench_function("tcsr_build", |b| {
+        b.iter(|| std::hint::black_box(TemporalCsr::from_log(&log, true).num_entries()))
+    });
+
+    let tcsr = TemporalCsr::from_log(&log, true);
+    g.bench_function("tcsr_window_degree_pass", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in 0..tcsr.num_vertices() as u32 {
+                total += tcsr.active_degree(v, window);
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    g.bench_function("csr_rebuild_per_window", |b| {
+        let events = log.slice_by_time(window.start, window.end);
+        b.iter(|| {
+            std::hint::black_box(Csr::from_events(log.num_vertices(), events, true).num_edges())
+        })
+    });
+
+    g.bench_function("streaming_insert_delete_cycle", |b| {
+        b.iter(|| {
+            let mut sg = StreamingGraph::new(log.num_vertices());
+            for e in log.slice_by_time(window.start, window.end) {
+                sg.insert_event(e.u, e.v, e.t);
+            }
+            for e in log.slice_by_time(window.start, window.end) {
+                sg.delete_event(e.u, e.v);
+            }
+            std::hint::black_box(sg.num_edges())
+        })
+    });
+
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

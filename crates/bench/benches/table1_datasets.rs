@@ -1,0 +1,34 @@
+//! Table 1: workload synthesis cost per dataset (the inventory's
+//! generation path, exercised end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tempopr_bench::{BENCH_SCALE, BENCH_SEED};
+use tempopr_datagen::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_datasets");
+    for d in Dataset::all() {
+        g.bench_function(d.name(), |b| {
+            b.iter(|| {
+                let log = d.spec().generate(BENCH_SCALE, BENCH_SEED);
+                std::hint::black_box(log.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

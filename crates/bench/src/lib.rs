@@ -1,0 +1,69 @@
+//! Shared setup for the criterion benches (one bench target per paper
+//! table/figure). Workloads are generated at a small scale so the whole
+//! suite runs in minutes; the CLI harness (`tempopr <figN>`) runs the same
+//! experiments at larger scales.
+
+use tempopr_core::{
+    run_offline, OfflineConfig, PostmortemConfig, PostmortemEngine, RetainMode, RunOutput,
+};
+use tempopr_datagen::Dataset;
+use tempopr_graph::{EventLog, WindowSpec};
+use tempopr_kernel::PrConfig;
+use tempopr_stream::{run_streaming, StreamingConfig};
+
+/// Scale used by all bench workloads.
+pub const BENCH_SCALE: f64 = 0.001;
+
+/// Seed used by all bench workloads.
+pub const BENCH_SEED: u64 = 42;
+
+/// Generates a bench workload: dataset at [`BENCH_SCALE`] with a window
+/// spec of `windows` windows covering the span (width = 4 sliding
+/// offsets' worth of overlap).
+pub fn bench_workload(dataset: Dataset, windows: usize) -> (EventLog, WindowSpec) {
+    let log = dataset.spec().generate(BENCH_SCALE, BENCH_SEED);
+    let span = log.last_time() - log.first_time();
+    let sw = (span / windows as i64).max(1);
+    let delta = (sw * 4).max(2);
+    let natural = WindowSpec::covering(&log, delta, sw).expect("spec");
+    let spec = WindowSpec::new(natural.t0, delta, sw, windows.min(natural.count)).expect("spec");
+    (log, spec)
+}
+
+/// The benches' shared PageRank parameters (library defaults).
+pub fn bench_pr() -> PrConfig {
+    PrConfig::default()
+}
+
+/// Runs the postmortem engine with summary retention.
+pub fn postmortem(log: &EventLog, spec: WindowSpec, mut cfg: PostmortemConfig) -> RunOutput {
+    cfg.retain = RetainMode::Summary;
+    cfg.pr = bench_pr();
+    PostmortemEngine::new(log, spec, cfg).expect("engine").run()
+}
+
+/// Runs the streaming baseline with summary retention.
+pub fn streaming(log: &EventLog, spec: WindowSpec) -> RunOutput {
+    run_streaming(
+        log,
+        spec,
+        &StreamingConfig {
+            pr: bench_pr(),
+            retain: RetainMode::Summary,
+            ..Default::default()
+        },
+    )
+}
+
+/// Runs the offline baseline with summary retention.
+pub fn offline(log: &EventLog, spec: WindowSpec) -> RunOutput {
+    run_offline(
+        log,
+        spec,
+        &OfflineConfig {
+            pr: bench_pr(),
+            retain: RetainMode::Summary,
+            ..Default::default()
+        },
+    )
+}

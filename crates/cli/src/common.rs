@@ -1,0 +1,140 @@
+//! Shared plumbing for the experiment harness: workload construction,
+//! model runners, and timing.
+
+use std::time::{Duration, Instant};
+use tempopr_core::{
+    run_offline, OfflineConfig, PostmortemConfig, PostmortemEngine, RetainMode, RunOutput,
+};
+use tempopr_datagen::Dataset;
+use tempopr_graph::{EventLog, WindowSpec};
+use tempopr_kernel::PrConfig;
+use tempopr_stream::{run_streaming, StreamingConfig};
+
+/// Experiment-wide options from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Dataset scale factor relative to the paper's full sizes.
+    pub scale: f64,
+    /// RNG seed for dataset synthesis.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Cap on the number of windows per configuration (0 = uncapped);
+    /// keeps the big sweeps affordable at small scales.
+    pub max_windows: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: 0.01,
+            seed: 42,
+            threads: 0,
+            max_windows: 0,
+        }
+    }
+}
+
+/// PageRank parameters shared by every experiment (the defaults of the
+/// library; tolerance loose enough that iteration counts resemble
+/// practice).
+pub fn pr_config() -> PrConfig {
+    PrConfig::default()
+}
+
+/// Generates a dataset and the window spec for `(sw, delta)`, optionally
+/// capping the window count.
+pub fn workload(dataset: Dataset, sw: i64, delta: i64, opts: &Opts) -> (EventLog, WindowSpec) {
+    let log = dataset.spec().generate(opts.scale, opts.seed);
+    let mut spec = WindowSpec::covering(&log, delta, sw).expect("valid window spec");
+    if opts.max_windows > 0 && spec.count > opts.max_windows {
+        spec.count = opts.max_windows;
+    }
+    (log, spec)
+}
+
+/// Builds a window spec with an explicit target window count (Figs. 7-10
+/// fix the count: 256, 6, 1024).
+pub fn workload_with_count(
+    dataset: Dataset,
+    sw: i64,
+    delta: i64,
+    count: usize,
+    opts: &Opts,
+) -> (EventLog, WindowSpec) {
+    let log = dataset.spec().generate(opts.scale, opts.seed);
+    let natural = WindowSpec::covering(&log, delta, sw).expect("valid window spec");
+    let spec = WindowSpec::new(natural.t0, delta, sw, count.min(natural.count))
+        .expect("valid window spec");
+    (log, spec)
+}
+
+/// Times one closure invocation.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Runs the streaming model (summary retention) and reports wall time.
+pub fn time_streaming(log: &EventLog, spec: WindowSpec, opts: &Opts) -> (RunOutput, Duration) {
+    let cfg = StreamingConfig {
+        pr: pr_config(),
+        retain: RetainMode::Summary,
+        threads: opts.threads,
+        ..Default::default()
+    };
+    time(|| run_streaming(log, spec, &cfg))
+}
+
+/// Runs the offline model (summary retention) and reports wall time.
+pub fn time_offline(log: &EventLog, spec: WindowSpec, opts: &Opts) -> (RunOutput, Duration) {
+    let cfg = OfflineConfig {
+        pr: pr_config(),
+        retain: RetainMode::Summary,
+        threads: opts.threads,
+        ..Default::default()
+    };
+    time(|| run_offline(log, spec, &cfg))
+}
+
+/// Runs the postmortem model with `cfg` (forced to summary retention and
+/// the harness thread count) and reports wall time *including* the one-time
+/// representation build — the honest end-to-end comparison.
+pub fn time_postmortem(
+    log: &EventLog,
+    spec: WindowSpec,
+    mut cfg: PostmortemConfig,
+    opts: &Opts,
+) -> (RunOutput, Duration) {
+    cfg.retain = RetainMode::Summary;
+    cfg.threads = opts.threads;
+    cfg.pr = pr_config();
+    time(|| {
+        let engine = PostmortemEngine::new(log, spec, cfg).expect("engine build");
+        engine.run()
+    })
+}
+
+/// Formats a `Duration` in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// The granularity axis of Figs. 7-10.
+pub const GRANULARITIES: [usize; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Parses a dataset name (paper spelling or shorthand).
+pub fn parse_dataset(s: &str) -> Option<Dataset> {
+    let t = s.to_ascii_lowercase();
+    Some(match t.as_str() {
+        "enron" | "ia-enron-email" => Dataset::Enron,
+        "epinions" | "epinions-user-ratings" => Dataset::Epinions,
+        "hepth" | "ca-cit-hepth" => Dataset::HepTh,
+        "youtube" | "youtube-growth" => Dataset::Youtube,
+        "wikitalk" | "wiki-talk" => Dataset::WikiTalk,
+        "stackoverflow" => Dataset::StackOverflow,
+        "askubuntu" => Dataset::AskUbuntu,
+        _ => return None,
+    })
+}

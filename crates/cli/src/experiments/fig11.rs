@@ -1,0 +1,61 @@
+//! Figure 11: best postmortem speedup over streaming, across each
+//! dataset's full (sw, δ) grid.
+
+use crate::common::{parse_dataset, time_postmortem, time_streaming, workload, Opts};
+use tempopr_core::{KernelKind, ParallelMode, PostmortemConfig};
+use tempopr_datagen::{Dataset, DAY};
+use tempopr_kernel::{Partitioner, Scheduler};
+
+/// For every (sw, δ) cell of a dataset's Table 1 grid, times streaming once
+/// and takes the best postmortem time over a small configuration sweep
+/// (3 levels × 2 kernels, auto partitioner, g = 2), printing the heatmap
+/// cell value.
+pub fn run(opts: &Opts, only: Option<&str>) {
+    println!(
+        "# Figure 11: best postmortem speedup over streaming (scale = {})",
+        opts.scale
+    );
+    println!(
+        "{:<24} {:>8} {:>11} {:>8} {:>12} {:>12} {:>9}",
+        "dataset", "sw_s", "delta_days", "windows", "streaming_s", "best_pm_s", "speedup"
+    );
+    let datasets: Vec<Dataset> = match only {
+        Some(name) => vec![parse_dataset(name).expect("unknown dataset")],
+        None => Dataset::all().to_vec(),
+    };
+    for dataset in datasets {
+        for (sw, delta) in dataset.spec().param_grid() {
+            let (log, spec) = workload(dataset, sw, delta, opts);
+            let (_, t_str) = time_streaming(&log, spec, opts);
+            let mut best = f64::INFINITY;
+            let mw = 0; // automatic (engine sizes parts per kernel)
+            for mode in [
+                ParallelMode::Nested,
+                ParallelMode::ApplicationLevel,
+                ParallelMode::WindowLevel,
+            ] {
+                for kernel in [KernelKind::SpMM { lanes: 16 }, KernelKind::SpMV] {
+                    let cfg = PostmortemConfig {
+                        mode,
+                        kernel,
+                        scheduler: Scheduler::new(Partitioner::Auto, 2),
+                        num_multiwindows: mw,
+                        ..Default::default()
+                    };
+                    let (_, t) = time_postmortem(&log, spec, cfg, opts);
+                    best = best.min(t.as_secs_f64());
+                }
+            }
+            println!(
+                "{:<24} {:>8} {:>11} {:>8} {:>12.3} {:>12.3} {:>8.0}x",
+                dataset.name(),
+                sw,
+                delta / DAY,
+                spec.count,
+                t_str.as_secs_f64(),
+                best,
+                t_str.as_secs_f64() / best.max(1e-9)
+            );
+        }
+    }
+}

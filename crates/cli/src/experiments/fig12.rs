@@ -1,0 +1,37 @@
+//! Figure 12: postmortem performance with the advisor's suggested
+//! parameters on wiki-talk.
+
+use crate::common::{time_postmortem, time_streaming, workload, Opts};
+use tempopr_core::suggest;
+use tempopr_datagen::{Dataset, DAY};
+
+/// Runs the §6.3.6 rules (SpMM, auto partitioner with small granularity,
+/// level chosen from the measured load balance) across the wiki-talk grid.
+pub fn run(opts: &Opts) {
+    println!(
+        "# Figure 12: suggested parameters on wiki-talk (scale = {})",
+        opts.scale
+    );
+    println!(
+        "{:<8} {:>11} {:>8} {:>12} {:>12} {:>9}  chosen",
+        "sw_s", "delta_days", "windows", "streaming_s", "suggested_s", "speedup"
+    );
+    let dataset = Dataset::WikiTalk;
+    for (sw, delta) in dataset.spec().param_grid() {
+        let (log, spec) = workload(dataset, sw, delta, opts);
+        let (_, t_str) = time_streaming(&log, spec, opts);
+        let cfg = suggest(&log, &spec, opts.threads);
+        let (_, t) = time_postmortem(&log, spec, cfg, opts);
+        println!(
+            "{:<8} {:>11} {:>8} {:>12.3} {:>12.3} {:>8.0}x  mode={:?} mw={}",
+            sw,
+            delta / DAY,
+            spec.count,
+            t_str.as_secs_f64(),
+            t.as_secs_f64(),
+            t_str.as_secs_f64() / t.as_secs_f64().max(1e-9),
+            cfg.mode,
+            cfg.num_multiwindows,
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 5: performance of Offline, Streaming, and Postmortem PageRank.
+//!
+//! Postmortem runs the paper's "bare-bone" configuration: partial
+//! initialization, 6 multi-window graphs, application-level parallelism,
+//! static scheduler — deliberately untuned.
+
+use crate::common::{secs, time_offline, time_postmortem, time_streaming, workload, Opts};
+use tempopr_core::PostmortemConfig;
+use tempopr_datagen::{Dataset, DAY};
+
+/// The paper's four panels: (dataset, sw, window sizes).
+fn panels() -> Vec<(Dataset, i64, Vec<i64>)> {
+    vec![
+        (Dataset::Enron, 2 * DAY, vec![730 * DAY, 1460 * DAY]),
+        (Dataset::Youtube, DAY, vec![60 * DAY, 90 * DAY]),
+        (Dataset::Epinions, DAY, vec![60 * DAY, 90 * DAY]),
+        (
+            Dataset::WikiTalk,
+            3 * DAY,
+            vec![10 * DAY, 15 * DAY, 90 * DAY, 180 * DAY],
+        ),
+    ]
+}
+
+/// Runs all three models on the four panels and prints their wall times.
+pub fn run(opts: &Opts) {
+    println!(
+        "# Figure 5: Offline vs Streaming vs Postmortem (scale = {})",
+        opts.scale
+    );
+    println!(
+        "{:<24} {:>8} {:>12} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "dataset",
+        "sw_days",
+        "delta_days",
+        "windows",
+        "offline_s",
+        "streaming_s",
+        "postmortem_s",
+        "pm_vs_str",
+        "pm_vs_off"
+    );
+    for (dataset, sw, deltas) in panels() {
+        for delta in deltas {
+            let (log, spec) = workload(dataset, sw, delta, opts);
+            let (_, t_off) = time_offline(&log, spec, opts);
+            let (_, t_str) = time_streaming(&log, spec, opts);
+            let (_, t_pm) = time_postmortem(&log, spec, PostmortemConfig::bare_bone(), opts);
+            println!(
+                "{:<24} {:>8} {:>12} {:>8} {:>12} {:>12} {:>12} {:>9.1}x {:>9.1}x",
+                dataset.name(),
+                sw / DAY,
+                delta / DAY,
+                spec.count,
+                secs(t_off),
+                secs(t_str),
+                secs(t_pm),
+                t_str.as_secs_f64() / t_pm.as_secs_f64().max(1e-9),
+                t_off.as_secs_f64() / t_pm.as_secs_f64().max(1e-9),
+            );
+        }
+    }
+}

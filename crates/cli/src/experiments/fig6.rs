@@ -1,0 +1,65 @@
+//! Figure 6: impact of partial initialization (full/partial speedup).
+
+use crate::common::{time_postmortem, workload, Opts};
+use tempopr_core::{KernelKind, ParallelMode, PostmortemConfig};
+use tempopr_datagen::{Dataset, DAY};
+
+/// Runs postmortem PageRank with and without partial initialization on
+/// stackoverflow and wiki-talk (sw = 43 200 s) over the paper's window
+/// sizes, reporting the full/partial time ratio and iteration counts.
+pub fn run(opts: &Opts) {
+    println!(
+        "# Figure 6: partial initialization speedup (scale = {})",
+        opts.scale
+    );
+    println!(
+        "{:<24} {:>12} {:>8} {:>10} {:>10} {:>9} {:>11} {:>11}",
+        "dataset",
+        "delta_days",
+        "windows",
+        "full_s",
+        "partial_s",
+        "speedup",
+        "iters_full",
+        "iters_part"
+    );
+    for dataset in [Dataset::StackOverflow, Dataset::WikiTalk] {
+        for delta_days in [10i64, 15, 90, 180] {
+            let (log, spec) = workload(dataset, DAY / 2, delta_days * DAY, opts);
+            let base = PostmortemConfig {
+                kernel: KernelKind::SpMV,
+                mode: ParallelMode::ApplicationLevel,
+                ..Default::default()
+            };
+            let (out_full, t_full) = time_postmortem(
+                &log,
+                spec,
+                PostmortemConfig {
+                    partial_init: false,
+                    ..base
+                },
+                opts,
+            );
+            let (out_part, t_part) = time_postmortem(
+                &log,
+                spec,
+                PostmortemConfig {
+                    partial_init: true,
+                    ..base
+                },
+                opts,
+            );
+            println!(
+                "{:<24} {:>12} {:>8} {:>10.3} {:>10.3} {:>8.2}x {:>11} {:>11}",
+                dataset.name(),
+                delta_days,
+                spec.count,
+                t_full.as_secs_f64(),
+                t_part.as_secs_f64(),
+                t_full.as_secs_f64() / t_part.as_secs_f64().max(1e-9),
+                out_full.total_iterations(),
+                out_part.total_iterations(),
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Table 1: graphs and parameters.
+
+use crate::common::Opts;
+use tempopr_datagen::{Dataset, DAY};
+
+/// Prints the dataset inventory with full and scaled sizes plus the
+/// (sw, δ) grids.
+pub fn run(opts: &Opts) {
+    println!("# Table 1: Graphs and Parameters (scale = {})", opts.scale);
+    println!(
+        "{:<24} {:>12} {:>12} {:>10} {:<22} window sizes (days)",
+        "name", "events(full)", "events(run)", "vertices", "sliding offsets"
+    );
+    for d in Dataset::all() {
+        let s = d.spec();
+        let sws: Vec<String> = s
+            .sliding_offsets
+            .iter()
+            .map(|&x| {
+                if x % DAY == 0 {
+                    format!("{}d", x / DAY)
+                } else {
+                    format!("{}h", x / 3600)
+                }
+            })
+            .collect();
+        let deltas: Vec<String> = s
+            .window_sizes
+            .iter()
+            .map(|&x| (x / DAY).to_string())
+            .collect();
+        println!(
+            "{:<24} {:>12} {:>12} {:>10} {:<22} {}",
+            d.name(),
+            s.full_events,
+            s.scaled_events(opts.scale),
+            s.scaled_vertices(opts.scale),
+            sws.join(","),
+            deltas.join(",")
+        );
+    }
+}

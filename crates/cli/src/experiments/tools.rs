@@ -1,0 +1,152 @@
+//! User-facing tool subcommands beyond the paper's figures: run the
+//! analyses on your own event files and convert between formats.
+
+use crate::common::{parse_dataset, Opts};
+use tempopr_core::{PostmortemConfig, PostmortemEngine, RetainMode};
+use tempopr_datagen::DAY;
+use tempopr_graph::{io, EventLog, WindowSpec};
+
+/// Loads an event log from a path, picking the format by extension
+/// (`.bin` = binary, anything else = text).
+fn load(path: &str) -> EventLog {
+    let result = if path.ends_with(".bin") {
+        io::read_binary_file(path)
+    } else {
+        io::read_text_file(path)
+    };
+    match result {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `tempopr convert <in> <out>`: converts between the text and binary
+/// event formats (directions inferred from extensions).
+pub fn convert(input: &str, output: &str) {
+    let log = load(input);
+    let result = if output.ends_with(".bin") {
+        io::write_binary_file(&log, output)
+    } else {
+        io::write_text_file(&log, output)
+    };
+    if let Err(e) = result {
+        eprintln!("failed to write {output}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} events over {} vertices to {output}",
+        log.len(),
+        log.num_vertices()
+    );
+}
+
+/// `tempopr pagerank <file-or-dataset> --delta-days D --sw-days S`:
+/// postmortem PageRank time series with the top vertex per window.
+pub fn pagerank(source: &str, delta_days: i64, sw_days: i64, top: usize, opts: &Opts) {
+    let log = match parse_dataset(source) {
+        Some(d) => d.spec().generate(opts.scale, opts.seed),
+        None => load(source),
+    };
+    let mut spec = WindowSpec::covering(&log, delta_days * DAY, sw_days * DAY)
+        .expect("valid window parameters");
+    if opts.max_windows > 0 {
+        spec.count = spec.count.min(opts.max_windows);
+    }
+    let cfg = PostmortemConfig {
+        retain: RetainMode::Full,
+        threads: opts.threads,
+        ..tempopr_core::suggest(&log, &spec, opts.threads)
+    };
+    let engine = PostmortemEngine::new(&log, spec, cfg).expect("engine");
+    let out = engine.run();
+    println!(
+        "# postmortem pagerank: {} events, {} vertices, {} windows (delta={}d, sw={}d)",
+        log.len(),
+        log.num_vertices(),
+        spec.count,
+        delta_days,
+        sw_days
+    );
+    println!(
+        "{:<8} {:>10} {:>6}  top-{top}",
+        "window", "vertices", "iters"
+    );
+    for w in &out.windows {
+        let ranks = w.ranks.as_ref().unwrap();
+        let mut pairs: Vec<(u32, f64)> = ranks
+            .vertices
+            .iter()
+            .copied()
+            .zip(ranks.values.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
+        pairs.truncate(top);
+        let tops: Vec<String> = pairs
+            .into_iter()
+            .map(|(v, r)| format!("{v}:{r:.4}"))
+            .collect();
+        println!(
+            "{:<8} {:>10} {:>6}  {}",
+            w.window,
+            w.stats.active_vertices,
+            w.stats.iterations,
+            tops.join(" ")
+        );
+    }
+}
+
+/// `tempopr structure <file-or-dataset> --delta-days D --sw-days S`:
+/// per-window structure metrics (components, k-core, triangles).
+pub fn structure(source: &str, delta_days: i64, sw_days: i64, opts: &Opts) {
+    let log = match parse_dataset(source) {
+        Some(d) => d.spec().generate(opts.scale, opts.seed),
+        None => load(source),
+    };
+    let mut spec = WindowSpec::covering(&log, delta_days * DAY, sw_days * DAY)
+        .expect("valid window parameters");
+    if opts.max_windows > 0 {
+        spec.count = spec.count.min(opts.max_windows);
+    }
+    let summaries = tempopr_analytics::temporal_structure(
+        &log,
+        spec,
+        &tempopr_analytics::StructureConfig::default(),
+    )
+    .expect("analysis");
+    println!(
+        "# temporal structure: {} events, {} windows (delta={}d, sw={}d)",
+        log.len(),
+        spec.count,
+        delta_days,
+        sw_days
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>7} {:>8} {:>11} {:>8} {:>5} {:>10}",
+        "window",
+        "vertices",
+        "edges",
+        "maxdeg",
+        "meandeg",
+        "components",
+        "largest",
+        "core",
+        "triangles"
+    );
+    for s in &summaries {
+        println!(
+            "{:>6} {:>9} {:>9} {:>7} {:>8.2} {:>11} {:>8} {:>5} {:>10}",
+            s.window,
+            s.active_vertices,
+            s.edges,
+            s.max_degree,
+            s.mean_degree,
+            s.components.unwrap(),
+            s.largest_component.unwrap(),
+            s.degeneracy.unwrap(),
+            s.triangles.unwrap(),
+        );
+    }
+}

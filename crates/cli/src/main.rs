@@ -1,0 +1,257 @@
+//! `tempopr` — experiment harness regenerating every table and figure of
+//! Hossain & Saule, *Postmortem Computation of Pagerank on Temporal
+//! Graphs* (ICPP '22).
+//!
+//! ```text
+//! tempopr <experiment> [--scale F] [--seed N] [--threads N]
+//!                      [--max-windows N] [--dataset NAME]
+//!
+//! experiments:
+//!   table1   dataset inventory and parameter grids
+//!   fig4     temporal edge distribution
+//!   fig5     offline vs streaming vs postmortem
+//!   fig6     partial-initialization speedup
+//!   fig7     partitioner/granularity sweep (256 windows)
+//!   fig8     multi-window count sweep
+//!   fig9     partitioner/granularity sweep (6 windows)
+//!   fig10    partitioner/granularity sweep (1024 windows)
+//!   fig11    best speedup heatmaps, all datasets
+//!   fig12    suggested parameters on wiki-talk
+//!   all      everything above, in order
+//! ```
+
+mod common;
+mod experiments;
+
+use common::Opts;
+use experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_help();
+        return;
+    }
+    let cmd = args[0].clone();
+    if cmd == "convert" {
+        if args.len() != 3 {
+            eprintln!("usage: tempopr convert <input> <output>");
+            std::process::exit(2);
+        }
+        tools::convert(&args[1], &args[2]);
+        return;
+    }
+    let (opts, dataset, extra) = match parse_flags(&args[1..]) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    run_experiment(&cmd, &opts, dataset.as_deref(), &extra);
+}
+
+/// Flags specific to the tool subcommands.
+struct ToolFlags {
+    delta_days: i64,
+    sw_days: i64,
+    top: usize,
+}
+
+impl Default for ToolFlags {
+    fn default() -> Self {
+        ToolFlags {
+            delta_days: 90,
+            sw_days: 30,
+            top: 3,
+        }
+    }
+}
+
+fn run_experiment(cmd: &str, opts: &Opts, dataset: Option<&str>, extra: &ToolFlags) {
+    match cmd {
+        "table1" => table1::run(opts),
+        "fig4" => fig4::run(opts, dataset),
+        "fig5" => fig5::run(opts),
+        "fig6" => fig6::run(opts),
+        "fig7" => sweep::run(sweep::fig7(), opts),
+        "fig8" => fig8::run(opts),
+        "fig9" => sweep::run(sweep::fig9(), opts),
+        "fig10" => sweep::run(sweep::fig10(), opts),
+        "fig11" => fig11::run(opts, dataset),
+        "fig12" => fig12::run(opts),
+        "structure" => {
+            let src = dataset.unwrap_or("wikitalk");
+            tools::structure(src, extra.delta_days, extra.sw_days, opts);
+        }
+        "pagerank" => {
+            let src = dataset.unwrap_or("wikitalk");
+            tools::pagerank(src, extra.delta_days, extra.sw_days, extra.top, opts);
+        }
+        "all" => {
+            for c in [
+                "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            ] {
+                run_experiment(c, opts, dataset, extra);
+                println!();
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), String> {
+    let mut opts = Opts::default();
+    let mut dataset = None;
+    let mut extra = ToolFlags::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--scale" => {
+                opts.scale = value(i)?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = value(i)?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads = value(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                i += 2;
+            }
+            "--max-windows" => {
+                opts.max_windows = value(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-windows: {e}"))?;
+                i += 2;
+            }
+            "--dataset" | "--source" => {
+                dataset = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--delta-days" => {
+                extra.delta_days = value(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --delta-days: {e}"))?;
+                i += 2;
+            }
+            "--sw-days" => {
+                extra.sw_days = value(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --sw-days: {e}"))?;
+                i += 2;
+            }
+            "--top" => {
+                extra.top = value(i)?.parse().map_err(|e| format!("bad --top: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.scale <= 0.0 || opts.scale.is_nan() {
+        return Err("--scale must be positive".into());
+    }
+    if extra.delta_days <= 0 || extra.sw_days <= 0 {
+        return Err("--delta-days and --sw-days must be positive".into());
+    }
+    Ok((opts, dataset, extra))
+}
+
+fn print_help() {
+    println!(
+        "tempopr — regenerate the tables and figures of 'Postmortem Computation of \
+         Pagerank on Temporal Graphs' (ICPP '22)\n\n\
+         usage: tempopr <experiment> [--scale F] [--seed N] [--threads N] \
+         [--max-windows N] [--dataset NAME]\n\n\
+         experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all\n\
+         tools:       pagerank | structure  (--source <file-or-dataset> \
+         --delta-days D --sw-days S [--top K]); convert <in> <out>\n\
+         datasets:    enron epinions hepth youtube wikitalk stackoverflow askubuntu\n\n\
+         --scale      dataset size relative to the paper's (default 0.01)\n\
+         --seed       synthesis seed (default 42)\n\
+         --threads    worker threads (default: all cores)\n\
+         --max-windows  cap windows per configuration (default: uncapped)\n\
+         --dataset    restrict fig4/fig11 to one dataset"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Result<(Opts, Option<String>, ToolFlags), String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_flags(&v)
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let (opts, dataset, extra) = flags(&[]).unwrap();
+        assert_eq!(opts.scale, 0.01);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.threads, 0);
+        assert_eq!(opts.max_windows, 0);
+        assert!(dataset.is_none());
+        assert_eq!(extra.delta_days, 90);
+        assert_eq!(extra.sw_days, 30);
+        assert_eq!(extra.top, 3);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let (opts, dataset, extra) = flags(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--max-windows",
+            "10",
+            "--dataset",
+            "enron",
+            "--delta-days",
+            "30",
+            "--sw-days",
+            "5",
+            "--top",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(opts.scale, 0.5);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.max_windows, 10);
+        assert_eq!(dataset.as_deref(), Some("enron"));
+        assert_eq!(extra.delta_days, 30);
+        assert_eq!(extra.sw_days, 5);
+        assert_eq!(extra.top, 8);
+    }
+
+    #[test]
+    fn source_is_alias_for_dataset() {
+        let (_, dataset, _) = flags(&["--source", "events.txt"]).unwrap();
+        assert_eq!(dataset.as_deref(), Some("events.txt"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(flags(&["--scale"]).is_err(), "missing value");
+        assert!(flags(&["--scale", "x"]).is_err(), "bad float");
+        assert!(flags(&["--scale", "0"]).is_err(), "non-positive scale");
+        assert!(flags(&["--scale", "NaN"]).is_err(), "NaN scale");
+        assert!(flags(&["--delta-days", "-1"]).is_err(), "negative delta");
+        assert!(flags(&["--bogus"]).is_err(), "unknown flag");
+    }
+}

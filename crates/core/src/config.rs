@@ -1,0 +1,143 @@
+//! Configuration of a postmortem analysis run.
+
+use tempopr_graph::multiwindow::PartitionStrategy;
+use tempopr_kernel::{PrConfig, Scheduler};
+
+/// Which level(s) of parallelism drive the run (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    /// No parallelism at all (reference / debugging).
+    Sequential,
+    /// Parallel across windows; each PageRank runs sequentially
+    /// (§4.3.1). Consecutive windows inside one grain stay on one thread,
+    /// preserving partial initialization within the grain.
+    WindowLevel,
+    /// Windows in order; parallelism inside each PageRank (§4.3.2). The
+    /// paper also calls this "PR-level" parallelization.
+    ApplicationLevel,
+    /// Both at once, on one work-stealing pool (§4.3.3).
+    #[default]
+    Nested,
+}
+
+/// Which kernel computes each window (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// One SpMV-style power iteration per window.
+    SpMV,
+    /// SpMM-inspired batching: `lanes` windows of one multi-window graph
+    /// iterate together on interleaved rank vectors (paper uses 8 or 16).
+    SpMM {
+        /// Number of simultaneous rank vectors (1..=64).
+        lanes: usize,
+    },
+    /// Push-style SpMV with propagation blocking (Beamer et al., cited in
+    /// the paper's §2.2 as compatible). The kernel itself is sequential;
+    /// window-level parallelism provides the outer concurrency.
+    PushBlocking,
+}
+
+impl Default for KernelKind {
+    fn default() -> Self {
+        KernelKind::SpMM { lanes: 16 }
+    }
+}
+
+/// How much output each window retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetainMode {
+    /// Keep the full (sparse) rank vector of every window.
+    #[default]
+    Full,
+    /// Keep only statistics and a rank fingerprint — what the benchmark
+    /// harness uses so hundreds of windows don't hold hundreds of vectors.
+    Summary,
+}
+
+/// Full configuration of a postmortem run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostmortemConfig {
+    /// Number of multi-window graphs `Y` (clamped to the window count).
+    /// `0` selects automatically from the window-overlap ratio and the
+    /// kernel: parts sized so one SpMV traverses about twice the window's
+    /// own events, or wide enough to feed all SpMM lanes (see
+    /// [`crate::engine::auto_multiwindows`]).
+    pub num_multiwindows: usize,
+    /// How windows are grouped into multi-window graphs.
+    pub partition: PartitionStrategy,
+    /// Symmetrize events (the paper's default, Fig. 3).
+    pub symmetric: bool,
+    /// PageRank parameters.
+    pub pr: PrConfig,
+    /// Parallelization level.
+    pub mode: ParallelMode,
+    /// SpMV or SpMM kernel.
+    pub kernel: KernelKind,
+    /// Partitioner + grain size for every parallel loop.
+    pub scheduler: Scheduler,
+    /// Use partial initialization (Eq. 4) where the previous window's ranks
+    /// are available on-thread.
+    pub partial_init: bool,
+    /// Worker threads (0 = rayon default: all cores).
+    pub threads: usize,
+    /// Output retention.
+    pub retain: RetainMode,
+}
+
+impl Default for PostmortemConfig {
+    fn default() -> Self {
+        PostmortemConfig {
+            num_multiwindows: 0,
+            partition: PartitionStrategy::EqualWindows,
+            symmetric: true,
+            pr: PrConfig::default(),
+            mode: ParallelMode::Nested,
+            kernel: KernelKind::default(),
+            scheduler: Scheduler::default(),
+            partial_init: true,
+            threads: 0,
+            retain: RetainMode::Full,
+        }
+    }
+}
+
+impl PostmortemConfig {
+    /// The paper's "bare-bone" configuration used in the Fig. 5 model
+    /// comparison: partial initialization, 6 multi-window graphs,
+    /// application-level parallelism, static partitioner, SpMV.
+    pub fn bare_bone() -> Self {
+        PostmortemConfig {
+            num_multiwindows: 6,
+            mode: ParallelMode::ApplicationLevel,
+            kernel: KernelKind::SpMV,
+            scheduler: Scheduler::new(tempopr_kernel::Partitioner::Static, 1),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempopr_kernel::Partitioner;
+
+    #[test]
+    fn defaults_match_paper_recommendations() {
+        let c = PostmortemConfig::default();
+        assert_eq!(c.mode, ParallelMode::Nested);
+        assert_eq!(c.kernel, KernelKind::SpMM { lanes: 16 });
+        assert!(c.partial_init);
+        assert!(c.symmetric);
+        assert_eq!(c.scheduler.partitioner, Partitioner::Auto);
+    }
+
+    #[test]
+    fn bare_bone_matches_fig5_setup() {
+        let c = PostmortemConfig::bare_bone();
+        assert_eq!(c.num_multiwindows, 6);
+        assert_eq!(c.mode, ParallelMode::ApplicationLevel);
+        assert_eq!(c.kernel, KernelKind::SpMV);
+        assert_eq!(c.scheduler.partitioner, Partitioner::Static);
+        assert!(c.partial_init);
+    }
+}

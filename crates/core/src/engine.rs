@@ -1,0 +1,635 @@
+//! The postmortem PageRank engine (paper §4).
+//!
+//! [`PostmortemEngine::new`] builds the multi-window representation once
+//! (§4.1); [`PostmortemEngine::run`] then computes PageRank for every
+//! window under the configured parallelization level (§4.3), kernel
+//! (SpMV or SpMM, §4.4), and partial-initialization policy (§4.2).
+//!
+//! ## How the paper's mechanisms map onto the run loop
+//! - **Window-level parallelism** schedules *window indices* through the
+//!   configured [`Scheduler`]; a grain of consecutive windows is processed
+//!   in order on one thread, so partial initialization applies within the
+//!   grain exactly as §4.3.1 describes for TBB work-stealing chunks.
+//! - **Application-level parallelism** walks windows in order and hands the
+//!   scheduler to the SpMV/SpMM kernel instead.
+//! - **Nested** does both on one rayon pool.
+//! - **SpMM region scheduling** splits each multi-window graph's windows
+//!   into `lanes` contiguous regions and batches the `j`-th window of every
+//!   region, so every batch after the first partially initializes from the
+//!   previous batch (§4.4).
+//! - Partial initialization never crosses a multi-window boundary (§4.2):
+//!   vertex numberings differ between parts.
+
+use crate::config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
+use crate::result::{hash01, RunOutput, SparseRanks, WindowOutput};
+use tempopr_graph::{EventLog, GraphError, MultiWindowGraph, MultiWindowSet, WindowSpec};
+use tempopr_kernel::{
+    pagerank_batch, pagerank_window, pagerank_window_blocking, thread_pool, BlockingWorkspace,
+    Init, PrStats, PrWorkspace, Scheduler, SpmmWorkspace,
+};
+
+/// A ready-to-run postmortem analysis: the multi-window representation plus
+/// the execution configuration.
+pub struct PostmortemEngine {
+    set: MultiWindowSet,
+    cfg: PostmortemConfig,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl PostmortemEngine {
+    /// Builds the multi-window representation for `log` under `spec`.
+    ///
+    /// This is the postmortem model's one-time graph construction — the
+    /// cost the offline model pays per window and the streaming model pays
+    /// per update batch.
+    pub fn new(
+        log: &EventLog,
+        spec: WindowSpec,
+        cfg: PostmortemConfig,
+    ) -> Result<Self, GraphError> {
+        let parts = if cfg.num_multiwindows == 0 {
+            auto_multiwindows(&spec, cfg.kernel)
+        } else {
+            cfg.num_multiwindows
+        };
+        let set = MultiWindowSet::build(log, spec, parts, cfg.symmetric, cfg.partition)?;
+        let pool = if cfg.threads > 0 {
+            Some(thread_pool(cfg.threads))
+        } else {
+            None
+        };
+        Ok(PostmortemEngine { set, cfg, pool })
+    }
+
+    /// The underlying multi-window representation.
+    pub fn set(&self) -> &MultiWindowSet {
+        &self.set
+    }
+
+    /// The window spec covered.
+    pub fn spec(&self) -> &WindowSpec {
+        self.set.spec()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &PostmortemConfig {
+        &self.cfg
+    }
+
+    /// Computes PageRank for every window and returns the per-window
+    /// outputs in window order.
+    pub fn run(&self) -> RunOutput {
+        let mut out = match &self.pool {
+            Some(p) => p.install(|| self.run_inner()),
+            None => self.run_inner(),
+        };
+        out.windows.sort_by_key(|w| w.window);
+        out.assert_complete(self.spec().count);
+        out
+    }
+
+    fn run_inner(&self) -> RunOutput {
+        let windows = match self.cfg.kernel {
+            KernelKind::SpMV => self.run_spmv(),
+            KernelKind::SpMM { lanes } => self.run_spmm(lanes),
+            KernelKind::PushBlocking => self.run_blocking(),
+        };
+        RunOutput { windows }
+    }
+
+    // --- SpMV path ------------------------------------------------------
+
+    fn run_spmv(&self) -> Vec<WindowOutput> {
+        let count = self.spec().count;
+        let sched = &self.cfg.scheduler;
+        match self.cfg.mode {
+            ParallelMode::Sequential => self.spmv_chunk(0..count, None),
+            ParallelMode::ApplicationLevel => self.spmv_chunk(0..count, Some(sched)),
+            ParallelMode::WindowLevel => {
+                sched.map_reduce_range(count, Vec::new(), |r| self.spmv_chunk(r, None), concat)
+            }
+            ParallelMode::Nested => sched.map_reduce_range(
+                count,
+                Vec::new(),
+                |r| self.spmv_chunk(r, Some(sched)),
+                concat,
+            ),
+        }
+    }
+
+    /// Processes a contiguous run of windows in order on the current
+    /// thread, threading partial initialization through consecutive windows
+    /// of the same multi-window graph.
+    fn spmv_chunk(
+        &self,
+        windows: std::ops::Range<usize>,
+        inner: Option<&Scheduler>,
+    ) -> Vec<WindowOutput> {
+        let mut out = Vec::with_capacity(windows.len());
+        let mut ws = PrWorkspace::default();
+        let mut prev: Vec<f64> = Vec::new();
+        let mut prev_part: Option<usize> = None;
+        for w in windows {
+            let part_idx = self.part_index_of(w);
+            let part = &self.set.graphs()[part_idx];
+            let range = self.spec().window(w);
+            let init = if self.cfg.partial_init && prev_part == Some(part_idx) {
+                Init::Partial(&prev)
+            } else {
+                Init::Uniform
+            };
+            let (pull, push) = (part.pull_tcsr(), part.tcsr());
+            let stats = pagerank_window(pull, push, range, init, &self.cfg.pr, inner, &mut ws);
+            out.push(self.make_output(w, part, stats, ws.ranks()));
+            // Keep this window's ranks as the next window's previous vector.
+            prev.clear();
+            prev.extend_from_slice(ws.ranks());
+            prev_part = Some(part_idx);
+        }
+        out
+    }
+
+    /// Propagation-blocking path: same window walk as SpMV, sequential
+    /// kernel (outer window-level parallelism still applies).
+    fn run_blocking(&self) -> Vec<WindowOutput> {
+        let count = self.spec().count;
+        let sched = &self.cfg.scheduler;
+        match self.cfg.mode {
+            ParallelMode::Sequential | ParallelMode::ApplicationLevel => {
+                self.blocking_chunk(0..count)
+            }
+            ParallelMode::WindowLevel | ParallelMode::Nested => {
+                sched.map_reduce_range(count, Vec::new(), |r| self.blocking_chunk(r), concat)
+            }
+        }
+    }
+
+    fn blocking_chunk(&self, windows: std::ops::Range<usize>) -> Vec<WindowOutput> {
+        let mut out = Vec::with_capacity(windows.len());
+        let mut ws = BlockingWorkspace::default();
+        let mut prev: Vec<f64> = Vec::new();
+        let mut prev_part: Option<usize> = None;
+        for w in windows {
+            let part_idx = self.part_index_of(w);
+            let part = &self.set.graphs()[part_idx];
+            let range = self.spec().window(w);
+            let init = if self.cfg.partial_init && prev_part == Some(part_idx) {
+                Init::Partial(&prev)
+            } else {
+                Init::Uniform
+            };
+            let (pull, push) = (part.pull_tcsr(), part.tcsr());
+            let stats = pagerank_window_blocking(pull, push, range, init, &self.cfg.pr, &mut ws);
+            out.push(self.make_output(w, part, stats, &ws.pr.x));
+            prev.clear();
+            prev.extend_from_slice(&ws.pr.x);
+            prev_part = Some(part_idx);
+        }
+        out
+    }
+
+    // --- SpMM path ------------------------------------------------------
+
+    fn run_spmm(&self, lanes: usize) -> Vec<WindowOutput> {
+        let parts = self.set.num_parts();
+        let sched = &self.cfg.scheduler;
+        match self.cfg.mode {
+            ParallelMode::Sequential => (0..parts)
+                .flat_map(|p| self.spmm_part(p, lanes, None))
+                .collect(),
+            ParallelMode::ApplicationLevel => (0..parts)
+                .flat_map(|p| self.spmm_part(p, lanes, Some(sched)))
+                .collect(),
+            ParallelMode::WindowLevel => sched.map_reduce_range(
+                parts,
+                Vec::new(),
+                |r| r.flat_map(|p| self.spmm_part(p, lanes, None)).collect(),
+                concat,
+            ),
+            ParallelMode::Nested => sched.map_reduce_range(
+                parts,
+                Vec::new(),
+                |r| {
+                    r.flat_map(|p| self.spmm_part(p, lanes, Some(sched)))
+                        .collect()
+                },
+                concat,
+            ),
+        }
+    }
+
+    /// Computes every window of one multi-window graph with the batched
+    /// kernel, using the paper's region scheduling: windows are split into
+    /// `lanes` contiguous regions and batch `j` processes the `j`-th window
+    /// of each region, partially initialized from batch `j-1`.
+    fn spmm_part(
+        &self,
+        part_idx: usize,
+        lanes: usize,
+        inner: Option<&Scheduler>,
+    ) -> Vec<WindowOutput> {
+        let part = &self.set.graphs()[part_idx];
+        let w0 = part.windows().start;
+        let nw = part.num_windows();
+        let mut vl = lanes.clamp(1, tempopr_kernel::MAX_LANES).min(nw);
+        if self.cfg.partial_init {
+            // Regions must span at least two windows or there is only one
+            // batch and nothing ever gets partially initialized — the
+            // paper's warning that a high vector length erodes the partial
+            // initialization benefit, resolved in favor of partial init.
+            vl = vl.min((nw / 2).max(1));
+        }
+        let region = nw.div_ceil(vl);
+        let mut prev: Vec<Option<Vec<f64>>> = vec![None; vl];
+        let mut ws = SpmmWorkspace::default();
+        let mut out: Vec<WindowOutput> = Vec::with_capacity(nw);
+        for j in 0..region {
+            // Lane r handles part-local window r*region + j, if it exists.
+            let mut lanes_now: Vec<usize> = Vec::with_capacity(vl);
+            for r in 0..vl {
+                let lw = r * region + j;
+                if lw < nw {
+                    lanes_now.push(lw);
+                }
+            }
+            if lanes_now.is_empty() {
+                break;
+            }
+            let ranges: Vec<_> = lanes_now
+                .iter()
+                .map(|&lw| self.spec().window(w0 + lw))
+                .collect();
+            let stats = {
+                let inits: Vec<Init<'_>> = lanes_now
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let r = lanes_now[i] / region;
+                        match (&prev[r], self.cfg.partial_init && j > 0) {
+                            (Some(p), true) => Init::Partial(p),
+                            _ => Init::Uniform,
+                        }
+                    })
+                    .collect();
+                let (pull, push) = (part.pull_tcsr(), part.tcsr());
+                pagerank_batch(pull, push, &ranges, &inits, &self.cfg.pr, inner, &mut ws)
+            };
+            let nlanes = lanes_now.len();
+            for (i, &lw) in lanes_now.iter().enumerate() {
+                let lane = ws.lane(i, nlanes);
+                out.push(self.make_output(w0 + lw, part, stats[i], &lane));
+                prev[lw / region] = Some(lane);
+            }
+        }
+        out
+    }
+
+    // --- Shared helpers ---------------------------------------------------
+
+    fn part_index_of(&self, window: usize) -> usize {
+        self.set
+            .graphs()
+            .partition_point(|g| g.windows().end <= window)
+    }
+
+    fn make_output(
+        &self,
+        window: usize,
+        part: &MultiWindowGraph,
+        stats: PrStats,
+        local_ranks: &[f64],
+    ) -> WindowOutput {
+        let map = part.vertex_map();
+        let fingerprint = local_ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > 0.0)
+            .map(|(l, &x)| x * hash01(map[l]))
+            .sum();
+        let ranks = match self.cfg.retain {
+            RetainMode::Full => Some(SparseRanks::from_local(local_ranks, map)),
+            RetainMode::Summary => None,
+        };
+        WindowOutput {
+            window,
+            stats,
+            fingerprint,
+            ranks,
+        }
+    }
+}
+
+fn concat(mut a: Vec<WindowOutput>, mut b: Vec<WindowOutput>) -> Vec<WindowOutput> {
+    a.append(&mut b);
+    a
+}
+
+/// Automatic multi-window count (used when `num_multiwindows == 0`).
+///
+/// A part spanning `w` consecutive windows makes one window's SpMV
+/// traverse roughly `((w-1)·sw + δ) / δ` times the window's own events, so
+/// for the SpMV kernel parts hold about `δ/sw` windows (≈ 2x traversal
+/// overhead, ≈ 2x event duplication — the paper's memory/performance
+/// tradeoff of §4.1 resolved at its knee). The SpMM kernel shares each
+/// traversal across its lanes, so parts are kept wide enough to feed every
+/// lane with two regions (preserving partial initialization, §4.4).
+pub fn auto_multiwindows(spec: &WindowSpec, kernel: KernelKind) -> usize {
+    let ratio = (spec.delta / spec.sw).max(1) as usize;
+    let windows_per_part = match kernel {
+        KernelKind::SpMV | KernelKind::PushBlocking => ratio.clamp(2, 64),
+        KernelKind::SpMM { lanes } => ratio.max(2 * lanes.max(1)).clamp(2, 256),
+    };
+    spec.count.div_ceil(windows_per_part).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelKind, ParallelMode, PostmortemConfig};
+    use tempopr_graph::Event;
+    use tempopr_kernel::{Partitioner, PrConfig};
+
+    fn test_log() -> EventLog {
+        let mut events = Vec::new();
+        for i in 0..400u32 {
+            let u = (i * 13 + 2) % 30;
+            let v = (i * 7 + 5) % 30;
+            if u != v {
+                events.push(Event::new(u, v, i as i64));
+            }
+        }
+        EventLog::from_unsorted(events, 30).unwrap()
+    }
+
+    fn tight_cfg() -> PrConfig {
+        PrConfig {
+            alpha: 0.15,
+            tol: 1e-12,
+            max_iters: 500,
+        }
+    }
+
+    fn reference_run(log: &EventLog, spec: WindowSpec) -> Vec<SparseRanks> {
+        // Offline brute force: per window, dedup edges, reference PageRank.
+        use tempopr_kernel::reference_pagerank;
+        (0..spec.count)
+            .map(|w| {
+                let r = spec.window(w);
+                let mut edges = Vec::new();
+                for e in log.events() {
+                    if r.contains(e.t) {
+                        edges.push((e.u, e.v));
+                        if e.u != e.v {
+                            edges.push((e.v, e.u));
+                        }
+                    }
+                }
+                let dense = reference_pagerank(log.num_vertices(), &edges, &tight_cfg());
+                SparseRanks::from_dense(&dense)
+            })
+            .collect()
+    }
+
+    fn check_against_reference(cfg: PostmortemConfig) {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 60, 25).unwrap();
+        let expect = reference_run(&log, spec);
+        let engine = PostmortemEngine::new(&log, spec, cfg).unwrap();
+        let out = engine.run();
+        assert_eq!(out.windows.len(), spec.count);
+        for (w, wo) in out.windows.iter().enumerate() {
+            let got = wo.ranks.as_ref().expect("full retention");
+            let d = got.linf_distance(&expect[w]);
+            assert!(d < 1e-7, "window {w}: linf {d}");
+            assert!((wo.fingerprint - expect[w].fingerprint()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spmv_sequential_matches_reference() {
+        check_against_reference(PostmortemConfig {
+            kernel: KernelKind::SpMV,
+            mode: ParallelMode::Sequential,
+            pr: tight_cfg(),
+            num_multiwindows: 3,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn spmv_all_modes_match_reference() {
+        for mode in [
+            ParallelMode::WindowLevel,
+            ParallelMode::ApplicationLevel,
+            ParallelMode::Nested,
+        ] {
+            check_against_reference(PostmortemConfig {
+                kernel: KernelKind::SpMV,
+                mode,
+                pr: tight_cfg(),
+                num_multiwindows: 4,
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn spmm_all_modes_match_reference() {
+        for mode in [
+            ParallelMode::Sequential,
+            ParallelMode::WindowLevel,
+            ParallelMode::ApplicationLevel,
+            ParallelMode::Nested,
+        ] {
+            check_against_reference(PostmortemConfig {
+                kernel: KernelKind::SpMM { lanes: 4 },
+                mode,
+                pr: tight_cfg(),
+                num_multiwindows: 3,
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn partial_init_does_not_change_results() {
+        for partial in [false, true] {
+            check_against_reference(PostmortemConfig {
+                kernel: KernelKind::SpMV,
+                mode: ParallelMode::ApplicationLevel,
+                partial_init: partial,
+                pr: tight_cfg(),
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn partial_init_saves_iterations_on_overlapping_windows() {
+        // Hub-heavy graph: the stationary distribution is far from uniform,
+        // so a warm start from the (similar) previous window pays off.
+        let mut events = Vec::new();
+        for i in 0..600u32 {
+            let (u, v) = if i % 3 != 0 {
+                (0, 1 + i % 29)
+            } else {
+                (1 + (i * 7) % 29, 1 + (i * 13) % 29)
+            };
+            if u != v {
+                events.push(Event::new(u, v, i as i64));
+            }
+        }
+        let log = EventLog::from_unsorted(events, 30).unwrap();
+        let spec = WindowSpec::covering(&log, 200, 25).unwrap(); // heavy overlap
+        let mk = |partial| PostmortemConfig {
+            kernel: KernelKind::SpMV,
+            mode: ParallelMode::Sequential,
+            partial_init: partial,
+            num_multiwindows: 2,
+            pr: PrConfig {
+                tol: 1e-10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let with = PostmortemEngine::new(&log, spec, mk(true)).unwrap().run();
+        let without = PostmortemEngine::new(&log, spec, mk(false)).unwrap().run();
+        assert!(
+            with.total_iterations() < without.total_iterations(),
+            "partial {} vs full {}",
+            with.total_iterations(),
+            without.total_iterations()
+        );
+    }
+
+    #[test]
+    fn many_multiwindows_match_few() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 60, 25).unwrap();
+        let mk = |y| PostmortemConfig {
+            num_multiwindows: y,
+            pr: tight_cfg(),
+            ..Default::default()
+        };
+        let a = PostmortemEngine::new(&log, spec, mk(1)).unwrap().run();
+        let b = PostmortemEngine::new(&log, spec, mk(spec.count))
+            .unwrap()
+            .run();
+        for (x, y) in a.windows.iter().zip(b.windows.iter()) {
+            let d = x
+                .ranks
+                .as_ref()
+                .unwrap()
+                .linf_distance(y.ranks.as_ref().unwrap());
+            assert!(d < 1e-7, "window {}: {d}", x.window);
+        }
+    }
+
+    #[test]
+    fn all_partitioners_produce_identical_rankings() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 60, 25).unwrap();
+        let base = PostmortemEngine::new(
+            &log,
+            spec,
+            PostmortemConfig {
+                pr: tight_cfg(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .run();
+        for part in [Partitioner::Simple, Partitioner::Static] {
+            for g in [1, 4, 64] {
+                let cfg = PostmortemConfig {
+                    scheduler: Scheduler::new(part, g),
+                    pr: tight_cfg(),
+                    ..Default::default()
+                };
+                let out = PostmortemEngine::new(&log, spec, cfg).unwrap().run();
+                for (x, y) in base.windows.iter().zip(out.windows.iter()) {
+                    assert!((x.fingerprint - y.fingerprint).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_retention_drops_vectors_but_keeps_fingerprint() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 60, 25).unwrap();
+        let full = PostmortemEngine::new(
+            &log,
+            spec,
+            PostmortemConfig {
+                pr: tight_cfg(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .run();
+        let summary = PostmortemEngine::new(
+            &log,
+            spec,
+            PostmortemConfig {
+                retain: RetainMode::Summary,
+                pr: tight_cfg(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .run();
+        for (f, s) in full.windows.iter().zip(summary.windows.iter()) {
+            assert!(s.ranks.is_none());
+            assert!(f.ranks.is_some());
+            assert!((f.fingerprint - s.fingerprint).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn explicit_thread_count_works() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 60, 25).unwrap();
+        let cfg = PostmortemConfig {
+            threads: 2,
+            pr: tight_cfg(),
+            ..Default::default()
+        };
+        let out = PostmortemEngine::new(&log, spec, cfg).unwrap().run();
+        assert_eq!(out.windows.len(), spec.count);
+    }
+
+    #[test]
+    fn equal_events_partitioning_matches_equal_windows() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 60, 25).unwrap();
+        let a = PostmortemEngine::new(
+            &log,
+            spec,
+            PostmortemConfig {
+                pr: tight_cfg(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .run();
+        let b = PostmortemEngine::new(
+            &log,
+            spec,
+            PostmortemConfig {
+                partition: tempopr_graph::PartitionStrategy::EqualEvents,
+                pr: tight_cfg(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .run();
+        for (x, y) in a.windows.iter().zip(b.windows.iter()) {
+            assert!(
+                (x.fingerprint - y.fingerprint).abs() < 1e-9,
+                "window {}",
+                x.window
+            );
+        }
+    }
+}

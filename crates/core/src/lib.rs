@@ -1,0 +1,38 @@
+//! # tempopr-core
+//!
+//! The postmortem temporal PageRank engine — the primary contribution of
+//! Hossain & Saule, *Postmortem Computation of Pagerank on Temporal Graphs*
+//! (ICPP '22) — plus the offline baseline it is compared against.
+//!
+//! Quick start:
+//!
+//! ```
+//! use tempopr_core::{PostmortemConfig, PostmortemEngine};
+//! use tempopr_graph::{Event, EventLog, WindowSpec};
+//!
+//! let events = (0..100u32)
+//!     .map(|i| Event::new(i % 10, (i * 3 + 1) % 10, i as i64))
+//!     .collect();
+//! let log = EventLog::from_unsorted(events, 10).unwrap();
+//! let spec = WindowSpec::covering(&log, 30, 10).unwrap();
+//! let engine = PostmortemEngine::new(&log, spec, PostmortemConfig::default()).unwrap();
+//! let out = engine.run();
+//! assert_eq!(out.windows.len(), spec.count);
+//! let top = out.windows[0].ranks.as_ref().unwrap().top().unwrap();
+//! println!("most central vertex of window 0: {} (rank {:.4})", top.0, top.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod config;
+pub mod engine;
+pub mod offline;
+pub mod result;
+
+pub use advisor::{suggest, suggest_for_profile, suggested_multiwindows, WorkloadProfile};
+pub use config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
+pub use engine::{auto_multiwindows, PostmortemEngine};
+pub use offline::{run_offline, OfflineConfig};
+pub use result::{RunOutput, SparseRanks, WindowOutput};

@@ -1,0 +1,228 @@
+//! The *offline* execution model (paper §3.3.1): rebuild a fresh static
+//! graph for every window and run PageRank from scratch.
+//!
+//! The model's defining property is that its cost is dominated by repeated
+//! graph construction, but it is massively parallel across windows (every
+//! window is independent — no partial initialization is possible). The
+//! builder here is the natural optimized one: the time-sorted event log is
+//! sliced by binary search, then deduplicated into a CSR.
+
+use crate::config::RetainMode;
+use crate::result::{RunOutput, SparseRanks, WindowOutput};
+use tempopr_graph::{Csr, EventLog, WindowSpec};
+use tempopr_kernel::{pagerank_csr, thread_pool, Init, PrConfig, PrWorkspace, Scheduler};
+
+/// Configuration of an offline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineConfig {
+    /// Symmetrize events when building each window's graph.
+    pub symmetric: bool,
+    /// PageRank parameters.
+    pub pr: PrConfig,
+    /// Process windows in parallel (the model's natural parallelism).
+    pub parallel_windows: bool,
+    /// Scheduler for the across-window loop (and, when
+    /// `parallel_windows` is false, for inside-PageRank parallelism).
+    pub scheduler: Scheduler,
+    /// Worker threads (0 = rayon default).
+    pub threads: usize,
+    /// Output retention.
+    pub retain: RetainMode,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        OfflineConfig {
+            symmetric: true,
+            pr: PrConfig::default(),
+            parallel_windows: true,
+            scheduler: Scheduler::default(),
+            threads: 0,
+            retain: RetainMode::Full,
+        }
+    }
+}
+
+/// Runs the offline model: for each window, slice the event log, build a
+/// fresh CSR over the full vertex universe, and run uniformly-initialized
+/// PageRank.
+///
+/// ```
+/// use tempopr_core::{run_offline, OfflineConfig};
+/// use tempopr_graph::{Event, EventLog, WindowSpec};
+/// let log = EventLog::from_unsorted(
+///     (0..60u32).map(|i| Event::new(i % 8, (i * 3 + 1) % 8, i as i64)).collect(),
+///     8,
+/// ).unwrap();
+/// let spec = WindowSpec::covering(&log, 20, 10).unwrap();
+/// let out = run_offline(&log, spec, &OfflineConfig::default());
+/// assert_eq!(out.windows.len(), spec.count);
+/// ```
+pub fn run_offline(log: &EventLog, spec: WindowSpec, cfg: &OfflineConfig) -> RunOutput {
+    let inner = || run_offline_inner(log, spec, cfg);
+    let mut out = if cfg.threads > 0 {
+        thread_pool(cfg.threads).install(inner)
+    } else {
+        inner()
+    };
+    out.windows.sort_by_key(|w| w.window);
+    out.assert_complete(spec.count);
+    out
+}
+
+fn run_offline_inner(log: &EventLog, spec: WindowSpec, cfg: &OfflineConfig) -> RunOutput {
+    let windows = if cfg.parallel_windows {
+        cfg.scheduler.map_reduce_range(
+            spec.count,
+            Vec::new(),
+            |r| {
+                let mut ws = PrWorkspace::default();
+                r.map(|w| offline_window(log, spec, cfg, w, None, &mut ws))
+                    .collect()
+            },
+            |mut a: Vec<WindowOutput>, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+    } else {
+        let mut ws = PrWorkspace::default();
+        (0..spec.count)
+            .map(|w| offline_window(log, spec, cfg, w, Some(&cfg.scheduler), &mut ws))
+            .collect()
+    };
+    RunOutput { windows }
+}
+
+fn offline_window(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &OfflineConfig,
+    w: usize,
+    inner: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+) -> WindowOutput {
+    let range = spec.window(w);
+    let events = log.slice_by_time(range.start, range.end);
+    // The per-window construction the offline model pays for: a fresh CSR
+    // over the whole universe.
+    let csr = Csr::from_events(log.num_vertices(), events, cfg.symmetric);
+    let stats = if cfg.symmetric {
+        pagerank_csr(&csr, &csr, Init::Uniform, &cfg.pr, inner, ws)
+    } else {
+        let pull = csr.transpose();
+        pagerank_csr(&pull, &csr, Init::Uniform, &cfg.pr, inner, ws)
+    };
+    let sparse = SparseRanks::from_dense(ws.ranks());
+    let fingerprint = sparse.fingerprint();
+    WindowOutput {
+        window: w,
+        stats,
+        fingerprint,
+        ranks: match cfg.retain {
+            RetainMode::Full => Some(sparse),
+            RetainMode::Summary => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempopr_graph::Event;
+
+    fn test_log() -> EventLog {
+        let mut events = Vec::new();
+        for i in 0..300u32 {
+            let u = (i * 11 + 1) % 24;
+            let v = (i * 5 + 7) % 24;
+            if u != v {
+                events.push(Event::new(u, v, i as i64));
+            }
+        }
+        EventLog::from_unsorted(events, 24).unwrap()
+    }
+
+    fn tight() -> OfflineConfig {
+        OfflineConfig {
+            pr: PrConfig {
+                alpha: 0.15,
+                tol: 1e-12,
+                max_iters: 500,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn offline_matches_reference() {
+        use tempopr_kernel::reference_pagerank;
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 50, 30).unwrap();
+        let out = run_offline(&log, spec, &tight());
+        for w in 0..spec.count {
+            let range = spec.window(w);
+            let mut edges = Vec::new();
+            for e in log.events() {
+                if range.contains(e.t) {
+                    edges.push((e.u, e.v));
+                    edges.push((e.v, e.u));
+                }
+            }
+            let dense = reference_pagerank(24, &edges, &tight().pr);
+            let expect = SparseRanks::from_dense(&dense);
+            let got = out.windows[w].ranks.as_ref().unwrap();
+            assert!(got.linf_distance(&expect) < 1e-8, "window {w}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 50, 30).unwrap();
+        let par = run_offline(&log, spec, &tight());
+        let seq = run_offline(
+            &log,
+            spec,
+            &OfflineConfig {
+                parallel_windows: false,
+                ..tight()
+            },
+        );
+        for (a, b) in par.windows.iter().zip(seq.windows.iter()) {
+            assert!((a.fingerprint - b.fingerprint).abs() < 1e-9);
+            assert_eq!(a.stats.active_vertices, b.stats.active_vertices);
+        }
+    }
+
+    #[test]
+    fn summary_retention_has_no_vectors() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 50, 30).unwrap();
+        let out = run_offline(
+            &log,
+            spec,
+            &OfflineConfig {
+                retain: RetainMode::Summary,
+                ..tight()
+            },
+        );
+        assert!(out.windows.iter().all(|w| w.ranks.is_none()));
+        assert!(out.windows.iter().any(|w| w.fingerprint != 0.0));
+    }
+
+    #[test]
+    fn explicit_threads_work() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 50, 30).unwrap();
+        let out = run_offline(
+            &log,
+            spec,
+            &OfflineConfig {
+                threads: 2,
+                ..tight()
+            },
+        );
+        assert_eq!(out.windows.len(), spec.count);
+    }
+}

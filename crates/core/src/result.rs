@@ -1,0 +1,237 @@
+//! Per-window outputs shared by the postmortem, offline, and streaming
+//! drivers, in a compact sparse form so hundreds of windows stay cheap.
+
+use tempopr_kernel::PrStats;
+
+/// Ranks of one window over the *global* vertex space, stored sparsely:
+/// only active vertices (rank > 0 domain) appear, sorted by vertex id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseRanks {
+    /// Global vertex ids, strictly increasing.
+    pub vertices: Vec<u32>,
+    /// Rank per vertex in `vertices`.
+    pub values: Vec<f64>,
+}
+
+impl SparseRanks {
+    /// Builds from a dense global vector, keeping strictly positive entries.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        let mut vertices = Vec::new();
+        let mut values = Vec::new();
+        for (v, &x) in dense.iter().enumerate() {
+            if x > 0.0 {
+                vertices.push(v as u32);
+                values.push(x);
+            }
+        }
+        SparseRanks { vertices, values }
+    }
+
+    /// Builds from local ranks plus a sorted local→global vertex map,
+    /// keeping strictly positive entries. The map being sorted keeps the
+    /// output sorted without extra work.
+    pub fn from_local(local: &[f64], vertex_map: &[u32]) -> Self {
+        debug_assert_eq!(local.len(), vertex_map.len());
+        let mut vertices = Vec::new();
+        let mut values = Vec::new();
+        for (l, &x) in local.iter().enumerate() {
+            if x > 0.0 {
+                vertices.push(vertex_map[l]);
+                values.push(x);
+            }
+        }
+        SparseRanks { vertices, values }
+    }
+
+    /// Number of ranked (active) vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether no vertex is ranked.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The rank of `vertex`, or 0 if unranked.
+    pub fn rank_of(&self, vertex: u32) -> f64 {
+        match self.vertices.binary_search(&vertex) {
+            Ok(i) => self.values[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sum of all ranks (≈ 1 for a non-empty window).
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The highest-ranked vertex, if any.
+    pub fn top(&self) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        for (&v, &x) in self.vertices.iter().zip(self.values.iter()) {
+            if best.is_none_or(|(_, bx)| x > bx) {
+                best = Some((v, x));
+            }
+        }
+        best
+    }
+
+    /// Maximum absolute rank difference against another sparse vector
+    /// (over the union of supports).
+    pub fn linf_distance(&self, other: &SparseRanks) -> f64 {
+        let mut d: f64 = 0.0;
+        for (&v, &x) in self.vertices.iter().zip(self.values.iter()) {
+            d = d.max((x - other.rank_of(v)).abs());
+        }
+        for (&v, &x) in other.vertices.iter().zip(other.values.iter()) {
+            d = d.max((x - self.rank_of(v)).abs());
+        }
+        d
+    }
+
+    /// Order-sensitive fingerprint: `Σ rank(v) · h(v)` with `h` a SplitMix64
+    /// hash mapped to `[0, 1)`. Two models computing the same ranks agree on
+    /// the fingerprint regardless of internal vertex numbering.
+    pub fn fingerprint(&self) -> f64 {
+        self.vertices
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&v, &x)| x * hash01(v))
+            .sum()
+    }
+}
+
+/// SplitMix64-based hash of a vertex id into `[0, 1)`.
+pub fn hash01(v: u32) -> f64 {
+    let mut z = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One window's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutput {
+    /// Global window index.
+    pub window: usize,
+    /// PageRank statistics.
+    pub stats: PrStats,
+    /// Rank fingerprint (always present, cheap).
+    pub fingerprint: f64,
+    /// Full sparse ranks when retention is `Full`.
+    pub ranks: Option<SparseRanks>,
+}
+
+/// Outcome of a whole run: one output per window, in window order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunOutput {
+    /// Per-window outputs, sorted by window index.
+    pub windows: Vec<WindowOutput>,
+}
+
+impl RunOutput {
+    /// Total PageRank iterations across all windows — the work metric the
+    /// partial-initialization experiment (Fig. 6) reports on.
+    pub fn total_iterations(&self) -> usize {
+        self.windows.iter().map(|w| w.stats.iterations).sum()
+    }
+
+    /// Panics unless windows are exactly `0..n` in order.
+    pub fn assert_complete(&self, n: usize) {
+        assert_eq!(self.windows.len(), n, "missing window outputs");
+        for (i, w) in self.windows.iter().enumerate() {
+            assert_eq!(w.window, i, "window outputs out of order");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dense_keeps_positive_entries_sorted() {
+        let s = SparseRanks::from_dense(&[0.0, 0.5, 0.0, 0.25, 0.25]);
+        assert_eq!(s.vertices, vec![1, 3, 4]);
+        assert_eq!(s.values, vec![0.5, 0.25, 0.25]);
+        assert_eq!(s.len(), 3);
+        assert!((s.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_local_maps_to_global() {
+        let s = SparseRanks::from_local(&[0.4, 0.0, 0.6], &[2, 5, 9]);
+        assert_eq!(s.vertices, vec![2, 9]);
+        assert_eq!(s.rank_of(9), 0.6);
+        assert_eq!(s.rank_of(5), 0.0);
+        assert_eq!(s.rank_of(7), 0.0);
+    }
+
+    #[test]
+    fn top_finds_max() {
+        let s = SparseRanks::from_dense(&[0.1, 0.7, 0.2]);
+        assert_eq!(s.top(), Some((1, 0.7)));
+        assert_eq!(SparseRanks::default().top(), None);
+    }
+
+    #[test]
+    fn linf_distance_over_union_support() {
+        let a = SparseRanks::from_dense(&[0.5, 0.5, 0.0]);
+        let b = SparseRanks::from_dense(&[0.5, 0.0, 0.5]);
+        assert!((a.linf_distance(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.linf_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_numbering_independent() {
+        // Same global ranks expressed via different local numberings.
+        let a = SparseRanks::from_local(&[0.3, 0.7], &[4, 8]);
+        let b = SparseRanks::from_dense(&{
+            let mut d = vec![0.0; 9];
+            d[4] = 0.3;
+            d[8] = 0.7;
+            d
+        });
+        assert!((a.fingerprint() - b.fingerprint()).abs() < 1e-15);
+        // And differs when ranks differ.
+        let c = SparseRanks::from_local(&[0.7, 0.3], &[4, 8]);
+        assert!((a.fingerprint() - c.fingerprint()).abs() > 1e-6);
+    }
+
+    #[test]
+    fn hash01_in_unit_interval() {
+        for v in [0u32, 1, 17, u32::MAX] {
+            let h = hash01(v);
+            assert!((0.0..1.0).contains(&h));
+        }
+        assert_ne!(hash01(1), hash01(2));
+    }
+
+    #[test]
+    fn run_output_totals_and_completeness() {
+        use tempopr_kernel::PrStats;
+        let mk = |w, it| WindowOutput {
+            window: w,
+            stats: PrStats {
+                iterations: it,
+                converged: true,
+                active_vertices: 1,
+            },
+            fingerprint: 0.0,
+            ranks: None,
+        };
+        let out = RunOutput {
+            windows: vec![mk(0, 3), mk(1, 5)],
+        };
+        assert_eq!(out.total_iterations(), 8);
+        out.assert_complete(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing window outputs")]
+    fn incomplete_output_panics() {
+        RunOutput::default().assert_complete(1);
+    }
+}

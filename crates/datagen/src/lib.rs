@@ -1,0 +1,19 @@
+//! # tempopr-datagen
+//!
+//! Synthetic temporal graph workloads standing in for the seven real
+//! datasets of the paper's Table 1 (see DESIGN.md §2.8 for the
+//! substitution rationale). Each [`presets::Dataset`] reproduces the
+//! temporal arrival shape of Fig. 4, power-law degrees, bipartiteness
+//! (Epinions), the event/vertex ratio, and the (sw, δ) parameter grids —
+//! at any scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod presets;
+pub mod profiles;
+pub mod topology;
+
+pub use presets::{Dataset, DatasetSpec, DAY};
+pub use profiles::ArrivalProfile;
+pub use topology::Topology;

@@ -1,0 +1,222 @@
+//! Temporal arrival profiles (paper §6.1, Fig. 4).
+//!
+//! The paper's seven datasets fall into three temporal shapes: spiky
+//! (Enron's scandal spike, Epinions' 2001 peak, HepTh's irregular bursts),
+//! smoothly growing (wiki-talk, askubuntu, stackoverflow), and
+//! bursty-but-steady (youtube). An [`ArrivalProfile`] samples event-time
+//! *positions* in `[0, 1)` with the corresponding density; the generator
+//! maps positions onto the dataset's time span.
+
+use rand::Rng;
+
+/// The shape of event arrivals over the normalized time axis `[0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProfile {
+    /// Events distributed uniformly.
+    Uniform,
+    /// One dominant spike (Enron, Epinions): a truncated Gaussian at
+    /// `center` with standard deviation `width`, mixed with a uniform
+    /// background.
+    Spike {
+        /// Spike position in `[0, 1)`.
+        center: f64,
+        /// Spike standard deviation (fraction of the span).
+        width: f64,
+        /// Fraction of events belonging to the spike (rest uniform).
+        share: f64,
+    },
+    /// Several bursts of random position/width (ca-cit-HepTh's irregular
+    /// pattern); burst parameters derive deterministically from the RNG.
+    IrregularBursts {
+        /// Number of bursts.
+        bursts: usize,
+        /// Fraction of events in bursts (rest uniform).
+        share: f64,
+    },
+    /// Arrival rate growing linearly from `1` to `ratio` over the span
+    /// (wiki-talk, askubuntu, stackoverflow).
+    LinearGrowth {
+        /// Final/initial rate ratio (> 1).
+        ratio: f64,
+    },
+    /// Steady background plus periodic narrow bursts (youtube-growth).
+    SteadyBursty {
+        /// Number of bursts, evenly spaced.
+        bursts: usize,
+        /// Fraction of events in bursts.
+        share: f64,
+    },
+}
+
+impl ArrivalProfile {
+    /// Samples one event-time position in `[0, 1)`.
+    pub fn sample<R: Rng>(&self, rng: &mut R, burst_centers: &[f64]) -> f64 {
+        let u: f64 = rng.gen();
+        let pos = match *self {
+            ArrivalProfile::Uniform => u,
+            ArrivalProfile::Spike {
+                center,
+                width,
+                share,
+            } => {
+                if u < share {
+                    truncated_gaussian(rng, center, width)
+                } else {
+                    rng.gen()
+                }
+            }
+            ArrivalProfile::IrregularBursts { share, .. }
+            | ArrivalProfile::SteadyBursty { share, .. } => {
+                if u < share && !burst_centers.is_empty() {
+                    let i = rng.gen_range(0..burst_centers.len());
+                    truncated_gaussian(rng, burst_centers[i], 0.01)
+                } else {
+                    rng.gen()
+                }
+            }
+            ArrivalProfile::LinearGrowth { ratio } => {
+                // pdf ∝ 1 + (r-1)x; inverse CDF.
+                let r = ratio.max(1.0 + 1e-9);
+                ((1.0 + u * (r * r - 1.0)).sqrt() - 1.0) / (r - 1.0)
+            }
+        };
+        pos.clamp(0.0, 1.0 - 1e-12)
+    }
+
+    /// Burst centers this profile needs, drawn once per dataset.
+    pub fn burst_centers<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        match *self {
+            ArrivalProfile::IrregularBursts { bursts, .. } => {
+                (0..bursts).map(|_| rng.gen::<f64>()).collect()
+            }
+            ArrivalProfile::SteadyBursty { bursts, .. } => (0..bursts)
+                .map(|i| (i as f64 + 0.5) / bursts as f64)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Box–Muller Gaussian truncated to `[0, 1)` by resampling (falling back to
+/// the mean after a few rejections, which only matters for extreme widths).
+fn truncated_gaussian<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    for _ in 0..16 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = mean + sd * z;
+        if (0.0..1.0).contains(&x) {
+            return x;
+        }
+    }
+    mean.clamp(0.0, 1.0 - 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_many(p: ArrivalProfile, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let centers = p.burst_centers(&mut rng);
+        (0..n).map(|_| p.sample(&mut rng, &centers)).collect()
+    }
+
+    #[test]
+    fn all_samples_in_unit_interval() {
+        for p in [
+            ArrivalProfile::Uniform,
+            ArrivalProfile::Spike {
+                center: 0.5,
+                width: 0.05,
+                share: 0.7,
+            },
+            ArrivalProfile::IrregularBursts {
+                bursts: 5,
+                share: 0.6,
+            },
+            ArrivalProfile::LinearGrowth { ratio: 10.0 },
+            ArrivalProfile::SteadyBursty {
+                bursts: 8,
+                share: 0.3,
+            },
+        ] {
+            for x in sample_many(p, 5000) {
+                assert!((0.0..1.0).contains(&x), "{p:?} produced {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn spike_concentrates_mass_at_center() {
+        let xs = sample_many(
+            ArrivalProfile::Spike {
+                center: 0.6,
+                width: 0.03,
+                share: 0.7,
+            },
+            20000,
+        );
+        let near = xs.iter().filter(|&&x| (x - 0.6).abs() < 0.1).count();
+        // 70% spike mass plus uniform background in the 0.2-wide strip.
+        assert!(near as f64 > 0.6 * xs.len() as f64, "near = {near}");
+    }
+
+    #[test]
+    fn linear_growth_puts_more_mass_late() {
+        let xs = sample_many(ArrivalProfile::LinearGrowth { ratio: 8.0 }, 20000);
+        let late = xs.iter().filter(|&&x| x > 0.5).count();
+        let early = xs.len() - late;
+        // With rate 1 -> 8, the second half holds (0.5 + 7*0.375)/4.5 ≈ 0.69
+        // of the mass, i.e. late/early ≈ 2.27.
+        assert!(
+            late as f64 > 2.0 * early as f64,
+            "late {late} vs early {early}"
+        );
+    }
+
+    #[test]
+    fn linear_growth_inverse_cdf_hits_endpoints() {
+        // u=0 -> 0, u=1 -> 1 analytically.
+        let r = 5.0f64;
+        let inv = |u: f64| ((1.0 + u * (r * r - 1.0)).sqrt() - 1.0) / (r - 1.0);
+        assert!((inv(0.0) - 0.0).abs() < 1e-12);
+        assert!((inv(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_bursty_has_periodic_bumps() {
+        let p = ArrivalProfile::SteadyBursty {
+            bursts: 4,
+            share: 0.5,
+        };
+        let xs = sample_many(p, 40000);
+        // Count mass near the 4 burst centers (0.125, 0.375, 0.625, 0.875).
+        let near: usize = xs
+            .iter()
+            .filter(|&&x| {
+                [0.125, 0.375, 0.625, 0.875]
+                    .iter()
+                    .any(|c| (x - c).abs() < 0.03)
+            })
+            .count();
+        // Burst share 0.5 plus uniform background (~12% of area).
+        assert!(near as f64 > 0.45 * xs.len() as f64, "near = {near}");
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let xs = sample_many(ArrivalProfile::Uniform, 20000);
+        let first = xs.iter().filter(|&&x| x < 0.25).count() as f64;
+        assert!((first / xs.len() as f64 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = sample_many(ArrivalProfile::LinearGrowth { ratio: 4.0 }, 100);
+        let b = sample_many(ArrivalProfile::LinearGrowth { ratio: 4.0 }, 100);
+        assert_eq!(a, b);
+    }
+}

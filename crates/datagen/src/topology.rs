@@ -1,0 +1,140 @@
+//! Endpoint samplers: who talks to whom.
+//!
+//! The paper notes (§6.3.2) that its social graphs have power-law degree
+//! distributions — the very imbalance the partitioner experiments probe —
+//! and that Epinions is bipartite (users × products). [`Topology`] samples
+//! event endpoints accordingly.
+
+use rand::Rng;
+
+/// Degree structure of the generated graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// Power-law-ish endpoint popularity: vertex `floor(n·u^skew)` for
+    /// uniform `u`, so low ids are hubs. `skew` ≈ 2–3 gives the heavy head
+    /// typical of social graphs.
+    PowerLaw {
+        /// Skew exponent (1 = uniform, larger = heavier hubs).
+        skew: f64,
+    },
+    /// Bipartite user→item events (Epinions): sources from the first
+    /// `left_frac` of the id space, destinations from the rest, each
+    /// power-law distributed within their side.
+    Bipartite {
+        /// Fraction of vertices on the left (user) side.
+        left_frac: f64,
+        /// Skew exponent on both sides.
+        skew: f64,
+    },
+}
+
+impl Topology {
+    /// Samples one event's endpoints from a universe of `n_eff` vertices
+    /// (`n_eff <= n` lets growth datasets widen their active universe over
+    /// time). Guarantees `u != v`.
+    pub fn sample<R: Rng>(&self, rng: &mut R, n_eff: usize) -> (u32, u32) {
+        let n_eff = n_eff.max(2);
+        match *self {
+            Topology::PowerLaw { skew } => {
+                let u = powerlaw_id(rng, n_eff, skew);
+                loop {
+                    let v = powerlaw_id(rng, n_eff, skew);
+                    if v != u {
+                        return (u, v);
+                    }
+                }
+            }
+            Topology::Bipartite { left_frac, skew } => {
+                let left = ((n_eff as f64 * left_frac) as usize).clamp(1, n_eff - 1);
+                let right = n_eff - left;
+                let u = powerlaw_id(rng, left, skew);
+                let v = left as u32 + powerlaw_id(rng, right, skew);
+                (u, v)
+            }
+        }
+    }
+}
+
+/// `floor(n · u^skew)`: the id distribution `P(id < k) = (k/n)^(1/skew)`,
+/// a cheap heavy-headed sampler (id 0 is the biggest hub).
+fn powerlaw_id<R: Rng>(rng: &mut R, n: usize, skew: f64) -> u32 {
+    let u: f64 = rng.gen();
+    let id = (n as f64 * u.powf(skew)) as usize;
+    id.min(n - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn powerlaw_no_self_loops_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Topology::PowerLaw { skew: 2.5 };
+        for _ in 0..5000 {
+            let (u, v) = t.sample(&mut rng, 100);
+            assert_ne!(u, v);
+            assert!(u < 100 && v < 100);
+        }
+    }
+
+    #[test]
+    fn powerlaw_low_ids_are_hubs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Topology::PowerLaw { skew: 2.5 };
+        let mut deg = vec![0usize; 1000];
+        for _ in 0..50000 {
+            let (u, v) = t.sample(&mut rng, 1000);
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let head: usize = deg[..50].iter().sum();
+        let total: usize = deg.iter().sum();
+        // P(id < 50) = (0.05)^(1/2.5) ≈ 0.30 per endpoint.
+        assert!(head as f64 > 0.25 * total as f64, "head {head} of {total}");
+        assert!(deg[0] > deg[500] * 5, "hub {} vs mid {}", deg[0], deg[500]);
+    }
+
+    #[test]
+    fn bipartite_separates_sides() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Topology::Bipartite {
+            left_frac: 0.3,
+            skew: 2.0,
+        };
+        for _ in 0..5000 {
+            let (u, v) = t.sample(&mut rng, 100);
+            assert!(u < 30, "source {u} must be a user");
+            assert!((30..100).contains(&v), "dest {v} must be an item");
+        }
+    }
+
+    #[test]
+    fn small_universe_still_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in [
+            Topology::PowerLaw { skew: 2.0 },
+            Topology::Bipartite {
+                left_frac: 0.5,
+                skew: 2.0,
+            },
+        ] {
+            let (u, v) = t.sample(&mut rng, 2);
+            assert_ne!(u, v);
+            let (u, v) = t.sample(&mut rng, 1); // clamped to 2
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn growth_universe_limits_ids() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Topology::PowerLaw { skew: 2.0 };
+        for _ in 0..2000 {
+            let (u, v) = t.sample(&mut rng, 10);
+            assert!(u < 10 && v < 10);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Event-file I/O: the SNAP-style text format the paper's datasets ship
+//! in, plus a compact binary format for fast reloads.
+//!
+//! Text format: one event per line, `u v t` separated by whitespace.
+//! Lines starting with `#` or `%` are comments (SNAP and network-repository
+//! conventions). Vertices are `u32`, timestamps `i64`.
+//!
+//! Binary format: magic `TPRE`, version byte, little-endian `u64` vertex
+//! count and event count, then `(u32, u32, i64)` triples.
+
+use crate::error::GraphError;
+use crate::events::{Event, EventLog};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from reading event files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line (1-based index reported) failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The parsed events failed graph validation.
+    Graph(GraphError),
+    /// The binary header was malformed.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Graph(e) => write!(f, "invalid event set: {e}"),
+            IoError::BadHeader(m) => write!(f, "bad binary header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Parses a text event stream (`u v t` per line, `#`/`%` comments).
+///
+/// ```
+/// let log = tempopr_graph::io::read_text("# comment\n0 1 10\n1 2 20\n".as_bytes()).unwrap();
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.num_vertices(), 3);
+/// ```
+pub fn read_text<R: Read>(reader: R) -> Result<EventLog, IoError> {
+    let mut events = Vec::new();
+    let mut line_buf = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut lineno = 0usize;
+    // Workhorse-string loop (perf-book): one allocation for the whole file.
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |field: Option<&str>, what: &str, lineno: usize| -> Result<i64, IoError> {
+            field
+                .ok_or_else(|| IoError::Parse {
+                    line: lineno,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<i64>()
+                .map_err(|e| IoError::Parse {
+                    line: lineno,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        let u = parse(it.next(), "source vertex", lineno)?;
+        let v = parse(it.next(), "destination vertex", lineno)?;
+        let t = parse(it.next(), "timestamp", lineno)?;
+        if !(0..=u32::MAX as i64).contains(&u) || !(0..=u32::MAX as i64).contains(&v) {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: format!("vertex id out of u32 range: {u} {v}"),
+            });
+        }
+        events.push(Event::new(u as u32, v as u32, t));
+    }
+    Ok(EventLog::from_unsorted_auto(events)?)
+}
+
+/// Reads a text event file from `path`.
+pub fn read_text_file<P: AsRef<Path>>(path: P) -> Result<EventLog, IoError> {
+    read_text(std::fs::File::open(path)?)
+}
+
+/// Writes the log as text (`u v t` per line) with a comment header.
+pub fn write_text<W: Write>(log: &EventLog, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# temporal edge set: {} events, {} vertices",
+        log.len(),
+        log.num_vertices()
+    )?;
+    for e in log.events() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.t)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a text event file to `path`.
+pub fn write_text_file<P: AsRef<Path>>(log: &EventLog, path: P) -> Result<(), IoError> {
+    write_text(log, std::fs::File::create(path)?)
+}
+
+const MAGIC: &[u8; 4] = b"TPRE";
+const VERSION: u8 = 1;
+
+/// Writes the compact binary format.
+pub fn write_binary<W: Write>(log: &EventLog, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(log.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(log.len() as u64).to_le_bytes())?;
+    for e in log.events() {
+        w.write_all(&e.u.to_le_bytes())?;
+        w.write_all(&e.v.to_le_bytes())?;
+        w.write_all(&e.t.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the compact binary format.
+pub fn read_binary<R: Read>(reader: R) -> Result<EventLog, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadHeader(format!("magic {magic:?}")));
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver)?;
+    if ver[0] != VERSION {
+        return Err(IoError::BadHeader(format!(
+            "unsupported version {}",
+            ver[0]
+        )));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let num_vertices = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    let mut events = Vec::with_capacity(count);
+    let mut rec = [0u8; 16];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let t = i64::from_le_bytes(rec[8..16].try_into().unwrap());
+        events.push(Event::new(u, v, t));
+    }
+    Ok(EventLog::from_unsorted(events, num_vertices)?)
+}
+
+/// Writes the binary format to `path`.
+pub fn write_binary_file<P: AsRef<Path>>(log: &EventLog, path: P) -> Result<(), IoError> {
+    write_binary(log, std::fs::File::create(path)?)
+}
+
+/// Reads the binary format from `path`.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<EventLog, IoError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventLog {
+        EventLog::from_unsorted(
+            vec![
+                Event::new(0, 1, 10),
+                Event::new(2, 3, 5),
+                Event::new(1, 4, 20),
+            ],
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_text(&log, &mut buf).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(back.events(), log.events());
+        assert_eq!(back.num_vertices(), 5);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blank_lines() {
+        let input = "# header\n% other comment\n\n0 1 10\n  2 3 5 \n";
+        let log = read_text(input.as_bytes()).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.first_time(), 5);
+    }
+
+    #[test]
+    fn text_reports_line_numbers_on_errors() {
+        let input = "0 1 10\n0 x 3\n";
+        match read_text(input.as_bytes()) {
+            Err(IoError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("destination"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let input = "0 1\n";
+        match read_text(input.as_bytes()) {
+            Err(IoError::Parse { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("missing timestamp"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_rejects_out_of_range_vertices() {
+        let input = "0 4294967296 1\n";
+        assert!(matches!(
+            read_text(input.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn text_negative_timestamps_allowed() {
+        let log = read_text("0 1 -5\n1 2 3\n".as_bytes()).unwrap();
+        assert_eq!(log.first_time(), -5);
+    }
+
+    #[test]
+    fn empty_text_is_an_error() {
+        assert!(matches!(
+            read_text("# only comments\n".as_bytes()),
+            Err(IoError::Graph(GraphError::EmptyEvents))
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_binary(&log, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_binary(&bad[..]), Err(IoError::BadHeader(_))));
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(read_binary(&bad[..]), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn binary_truncation_is_io_error() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn file_roundtrips() {
+        let dir = std::env::temp_dir().join("tempopr_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = sample();
+        let tpath = dir.join("events.txt");
+        write_text_file(&log, &tpath).unwrap();
+        assert_eq!(read_text_file(&tpath).unwrap().events(), log.events());
+        let bpath = dir.join("events.bin");
+        write_binary_file(&log, &bpath).unwrap();
+        assert_eq!(read_binary_file(&bpath).unwrap(), log);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

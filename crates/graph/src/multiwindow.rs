@@ -1,0 +1,550 @@
+//! Multi-window graphs (paper §4.1).
+//!
+//! When the analysis spans many windows, the full temporal CSR stores every
+//! event, so a single SpMV costs `Θ(|Events|)` regardless of how few edges a
+//! particular window has. The fix is to partition the window sequence into
+//! `Y` *multi-window graphs*, each a temporal CSR over only the events whose
+//! timestamps fall in its group's time span, with vertices renumbered to a
+//! dense local id space. SpMV for a window then costs `Θ(|E_w|)` of its
+//! multi-window, at the price of duplicating events that straddle group
+//! boundaries (`Σ_w |E_w| >= |Events|`).
+
+use crate::error::GraphError;
+use crate::events::{Event, EventLog, VertexId};
+use crate::tcsr::TemporalCsr;
+use crate::window::{TimeRange, WindowSpec};
+use std::ops::Range;
+
+/// How windows are grouped into multi-window graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Equal number of windows per group — the paper's scheme
+    /// ("we distribute the graphs uniformly to the multi-window graphs").
+    #[default]
+    EqualWindows,
+    /// Group boundaries chosen so groups hold roughly equal numbers of
+    /// events — the balanced decomposition the paper's §7 leaves as future
+    /// work.
+    EqualEvents,
+}
+
+/// One multi-window graph: a contiguous group of windows plus the temporal
+/// CSR of the events in their joint time span, over a local vertex space.
+#[derive(Debug, Clone)]
+pub struct MultiWindowGraph {
+    windows: Range<usize>,
+    span: TimeRange,
+    /// Sorted map local id -> global id.
+    vertices: Box<[VertexId]>,
+    tcsr: TemporalCsr,
+    /// In-edge transpose, present only for directed builds (symmetric
+    /// builds pull and push from the same structure).
+    transpose: Option<TemporalCsr>,
+}
+
+impl MultiWindowGraph {
+    /// Global indices of the windows this graph serves.
+    #[inline]
+    pub fn windows(&self) -> Range<usize> {
+        self.windows.clone()
+    }
+
+    /// Number of windows served.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether global window `i` belongs to this graph.
+    #[inline]
+    pub fn contains_window(&self, i: usize) -> bool {
+        self.windows.contains(&i)
+    }
+
+    /// The joint time span of all served windows.
+    #[inline]
+    pub fn span(&self) -> TimeRange {
+        self.span
+    }
+
+    /// The local temporal CSR of out-edges (vertex ids are local).
+    #[inline]
+    pub fn tcsr(&self) -> &TemporalCsr {
+        &self.tcsr
+    }
+
+    /// The in-edge structure for pull-style kernels: the stored transpose
+    /// for a directed build, the out-structure itself for a symmetric one.
+    #[inline]
+    pub fn pull_tcsr(&self) -> &TemporalCsr {
+        self.transpose.as_ref().unwrap_or(&self.tcsr)
+    }
+
+    /// Number of local vertices `|V_w|` (vertices appearing in the span).
+    #[inline]
+    pub fn num_local_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Maps a local vertex id back to its global id.
+    #[inline]
+    pub fn global_id(&self, local: VertexId) -> VertexId {
+        self.vertices[local as usize]
+    }
+
+    /// The sorted local -> global vertex map.
+    #[inline]
+    pub fn vertex_map(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Maps a global vertex id to its local id, if present in this graph.
+    pub fn local_id(&self, global: VertexId) -> Option<VertexId> {
+        self.vertices
+            .binary_search(&global)
+            .ok()
+            .map(|i| i as VertexId)
+    }
+
+    /// Approximate heap footprint in bytes (vertex map + temporal CSR(s)).
+    pub fn memory_bytes(&self) -> usize {
+        self.vertices.len() * std::mem::size_of::<VertexId>()
+            + self.tcsr.memory_bytes()
+            + self.transpose.as_ref().map_or(0, |t| t.memory_bytes())
+    }
+}
+
+/// The complete postmortem representation: the window spec plus the
+/// multi-window graphs covering it.
+#[derive(Debug, Clone)]
+pub struct MultiWindowSet {
+    spec: WindowSpec,
+    graphs: Vec<MultiWindowGraph>,
+    num_global_vertices: usize,
+}
+
+impl MultiWindowSet {
+    /// Partitions `spec`'s windows into (at most) `num_parts` groups and
+    /// builds one [`MultiWindowGraph`] per group.
+    ///
+    /// `num_parts` is clamped to the window count. Events outside every
+    /// window's span are dropped.
+    pub fn build(
+        log: &EventLog,
+        spec: WindowSpec,
+        num_parts: usize,
+        symmetric: bool,
+        strategy: PartitionStrategy,
+    ) -> Result<Self, GraphError> {
+        if num_parts == 0 {
+            return Err(GraphError::ZeroMultiWindows);
+        }
+        let parts = num_parts.min(spec.count);
+        let boundaries = match strategy {
+            PartitionStrategy::EqualWindows => equal_window_boundaries(spec.count, parts),
+            PartitionStrategy::EqualEvents => equal_event_boundaries(log, &spec, parts),
+        };
+        debug_assert_eq!(boundaries.len(), parts + 1);
+        let mut graphs = Vec::with_capacity(parts);
+        // Reusable global -> local scratch map (u32::MAX = absent).
+        let mut local_of = vec![VertexId::MAX; log.num_vertices()];
+        for p in 0..parts {
+            let windows = boundaries[p]..boundaries[p + 1];
+            let span = spec.span_of(windows.clone());
+            let events = log.slice_by_time(span.start, span.end);
+            graphs.push(build_part(windows, span, events, symmetric, &mut local_of));
+        }
+        Ok(MultiWindowSet {
+            spec,
+            graphs,
+            num_global_vertices: log.num_vertices(),
+        })
+    }
+
+    /// The window spec this set covers.
+    #[inline]
+    pub fn spec(&self) -> &WindowSpec {
+        &self.spec
+    }
+
+    /// Number of multi-window graphs `Y`.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Size of the global vertex universe.
+    #[inline]
+    pub fn num_global_vertices(&self) -> usize {
+        self.num_global_vertices
+    }
+
+    /// All multi-window graphs, in window order.
+    #[inline]
+    pub fn graphs(&self) -> &[MultiWindowGraph] {
+        &self.graphs
+    }
+
+    /// The multi-window graph serving global window `i`.
+    pub fn part_of(&self, window: usize) -> &MultiWindowGraph {
+        assert!(window < self.spec.count, "window {window} out of range");
+        let idx = self.graphs.partition_point(|g| g.windows().end <= window);
+        &self.graphs[idx]
+    }
+
+    /// Total stored entries across all parts (>= entries of the single
+    /// temporal CSR, because straddling events are duplicated).
+    pub fn total_entries(&self) -> usize {
+        self.graphs.iter().map(|g| g.tcsr().num_entries()).sum()
+    }
+
+    /// Approximate total heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.graphs.iter().map(|g| g.memory_bytes()).sum()
+    }
+}
+
+/// The paper's memory rule (§4.1): "a window graph should be accommodated
+/// by the system memory when computing Pagerank". Returns the smallest
+/// part count whose largest part's estimated footprint fits
+/// `budget_bytes`, or `spec.count` if even single-window parts exceed it
+/// (callers then know the budget is infeasible and may stream instead).
+///
+/// The estimate is `encoding · (|V_w| + 2·|E_w|)` with 64-bit-dominant
+/// encoding, as in the paper; `|V_w|` is bounded by `2·events` and the
+/// universe size, and `|E_w|` by the events in the part's span (×2 for a
+/// symmetric build).
+pub fn parts_for_memory_budget(
+    log: &EventLog,
+    spec: &WindowSpec,
+    budget_bytes: usize,
+    symmetric: bool,
+) -> usize {
+    let estimate = |parts: usize| -> usize {
+        let b = equal_window_boundaries(spec.count, parts);
+        let mut worst = 0usize;
+        for p in 0..parts {
+            if b[p] == b[p + 1] {
+                continue;
+            }
+            let span = spec.span_of(b[p]..b[p + 1]);
+            let events = log.index_range_by_time(span.start, span.end).len();
+            let entries = if symmetric { 2 * events } else { events };
+            let verts = (2 * events).min(log.num_vertices());
+            // row (8B/vertex) + bounds (16B/vertex) + col (4B) + time (8B).
+            worst = worst.max(24 * verts + 12 * entries);
+        }
+        worst
+    };
+    // The worst part shrinks monotonically with more parts; binary search
+    // the smallest feasible count.
+    let (mut lo, mut hi) = (1usize, spec.count);
+    if estimate(hi) > budget_bytes {
+        return spec.count;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if estimate(mid) <= budget_bytes {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Equal-count window boundaries: `parts + 1` fenceposts, first group(s)
+/// take the ceiling share.
+fn equal_window_boundaries(count: usize, parts: usize) -> Vec<usize> {
+    let mut b = Vec::with_capacity(parts + 1);
+    for p in 0..=parts {
+        // Balanced split: part p starts at floor(p * count / parts).
+        b.push(p * count / parts);
+    }
+    b
+}
+
+/// Boundaries chosen so each group's span holds roughly `total/parts`
+/// events, while every group keeps at least one window.
+fn equal_event_boundaries(log: &EventLog, spec: &WindowSpec, parts: usize) -> Vec<usize> {
+    let total = log.len();
+    let mut b = Vec::with_capacity(parts + 1);
+    b.push(0usize);
+    let mut w = 0usize;
+    for p in 1..parts {
+        let target = p * total / parts;
+        // Advance w until the events at or before window w's end reach the
+        // target, but leave at least one window per remaining group.
+        let max_w = spec.count - (parts - p);
+        while w + 1 < max_w {
+            let end = spec.window(w).end;
+            let consumed = log.index_range_by_time(log.first_time(), end).end;
+            if consumed >= target {
+                break;
+            }
+            w += 1;
+        }
+        w += 1;
+        b.push(w.min(max_w));
+        w = *b.last().unwrap();
+    }
+    b.push(spec.count);
+    b
+}
+
+fn build_part(
+    windows: Range<usize>,
+    span: TimeRange,
+    events: &[Event],
+    symmetric: bool,
+    local_of: &mut [VertexId],
+) -> MultiWindowGraph {
+    // Collect the distinct vertices of this span, sorted for binary-search
+    // lookup of global ids later.
+    let mut vertices: Vec<VertexId> = Vec::new();
+    for e in events {
+        for x in [e.u, e.v] {
+            if local_of[x as usize] == VertexId::MAX {
+                local_of[x as usize] = 0; // mark seen
+                vertices.push(x);
+            }
+        }
+    }
+    vertices.sort_unstable();
+    for (i, &g) in vertices.iter().enumerate() {
+        local_of[g as usize] = i as VertexId;
+    }
+    // Remap events to local ids and build the local temporal CSR.
+    let local_events: Vec<Event> = events
+        .iter()
+        .map(|e| Event::new(local_of[e.u as usize], local_of[e.v as usize], e.t))
+        .collect();
+    let tcsr = TemporalCsr::from_events(vertices.len(), &local_events, symmetric);
+    let transpose = (!symmetric).then(|| tcsr.transpose());
+    // Reset the scratch map for the next part.
+    for &g in &vertices {
+        local_of[g as usize] = VertexId::MAX;
+    }
+    MultiWindowGraph {
+        windows,
+        span,
+        vertices: vertices.into_boxed_slice(),
+        tcsr,
+        transpose,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(u: u32, v: u32, t: i64) -> Event {
+        Event::new(u, v, t)
+    }
+
+    fn log() -> EventLog {
+        EventLog::from_sorted(
+            vec![
+                ev(0, 1, 0),
+                ev(1, 2, 10),
+                ev(2, 3, 20),
+                ev(3, 4, 30),
+                ev(4, 5, 40),
+                ev(5, 6, 50),
+                ev(6, 7, 60),
+                ev(7, 0, 70),
+            ],
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_window_boundaries_are_balanced() {
+        assert_eq!(equal_window_boundaries(8, 2), vec![0, 4, 8]);
+        assert_eq!(equal_window_boundaries(7, 3), vec![0, 2, 4, 7]);
+        assert_eq!(equal_window_boundaries(3, 3), vec![0, 1, 2, 3]);
+        assert_eq!(equal_window_boundaries(5, 1), vec![0, 5]);
+    }
+
+    #[test]
+    fn build_covers_all_windows_contiguously() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap(); // 8 windows
+        let set =
+            MultiWindowSet::build(&log, spec, 3, true, PartitionStrategy::EqualWindows).unwrap();
+        assert_eq!(set.num_parts(), 3);
+        let mut next = 0;
+        for g in set.graphs() {
+            assert_eq!(g.windows().start, next);
+            next = g.windows().end;
+        }
+        assert_eq!(next, spec.count);
+    }
+
+    #[test]
+    fn parts_clamped_to_window_count() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 40).unwrap(); // 2 windows
+        let set =
+            MultiWindowSet::build(&log, spec, 10, true, PartitionStrategy::EqualWindows).unwrap();
+        assert_eq!(set.num_parts(), 2);
+    }
+
+    #[test]
+    fn zero_parts_rejected() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        assert_eq!(
+            MultiWindowSet::build(&log, spec, 0, true, PartitionStrategy::EqualWindows)
+                .unwrap_err(),
+            GraphError::ZeroMultiWindows
+        );
+    }
+
+    #[test]
+    fn part_of_finds_serving_graph() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 3, true, PartitionStrategy::EqualWindows).unwrap();
+        for w in 0..spec.count {
+            assert!(set.part_of(w).contains_window(w), "window {w}");
+        }
+    }
+
+    #[test]
+    fn local_vertex_maps_roundtrip() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 4, true, PartitionStrategy::EqualWindows).unwrap();
+        for g in set.graphs() {
+            for local in 0..g.num_local_vertices() as u32 {
+                let global = g.global_id(local);
+                assert_eq!(g.local_id(global), Some(local));
+            }
+            // A vertex absent from the span maps to None. Part 0 spans
+            // windows near t=0 and must not contain vertex 7's id unless an
+            // event in span references it.
+        }
+    }
+
+    #[test]
+    fn straddling_events_are_duplicated() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 25, 10).unwrap(); // overlapping windows
+        let set =
+            MultiWindowSet::build(&log, spec, 4, true, PartitionStrategy::EqualWindows).unwrap();
+        // Entries across parts exceed the single-CSR entry count because
+        // overlapping spans duplicate events.
+        let single = TemporalCsr::from_log(&log, true);
+        assert!(set.total_entries() >= single.num_entries());
+    }
+
+    #[test]
+    fn per_part_edges_match_bruteforce() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 3, true, PartitionStrategy::EqualWindows).unwrap();
+        // For every window, the set of active edges (in global ids) equals
+        // the brute-force filter of the event list.
+        for w in 0..spec.count {
+            let range = spec.window(w);
+            let g = set.part_of(w);
+            let mut got: Vec<(u32, u32)> = Vec::new();
+            for lv in 0..g.num_local_vertices() as u32 {
+                for n in g.tcsr().active_neighbors(lv, range) {
+                    got.push((g.global_id(lv), g.global_id(n)));
+                }
+            }
+            got.sort_unstable();
+            let mut expect: Vec<(u32, u32)> = Vec::new();
+            for e in log.events() {
+                if range.contains(e.t) {
+                    expect.push((e.u, e.v));
+                    expect.push((e.v, e.u));
+                }
+            }
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(got, expect, "window {w}");
+        }
+    }
+
+    #[test]
+    fn equal_events_boundaries_cover_and_are_monotonic() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        for parts in 1..=4 {
+            let b = equal_event_boundaries(&log, &spec, parts);
+            assert_eq!(b.len(), parts + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), spec.count);
+            for w in b.windows(2) {
+                assert!(w[0] < w[1], "boundaries must strictly increase: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_events_strategy_builds_valid_set() {
+        // Skewed log: most events early.
+        let mut events = Vec::new();
+        for i in 0..50 {
+            events.push(ev(i % 5, (i + 1) % 5, (i / 10) as i64));
+        }
+        events.push(ev(0, 1, 100));
+        events.push(ev(1, 2, 200));
+        let log = EventLog::from_unsorted(events, 5).unwrap();
+        let spec = WindowSpec::covering(&log, 20, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 4, true, PartitionStrategy::EqualEvents).unwrap();
+        let mut next = 0;
+        for g in set.graphs() {
+            assert_eq!(g.windows().start, next);
+            assert!(!g.windows().is_empty());
+            next = g.windows().end;
+        }
+        assert_eq!(next, spec.count);
+    }
+
+    #[test]
+    fn memory_budget_rule_picks_feasible_minimum() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        // A huge budget needs only one part.
+        assert_eq!(parts_for_memory_budget(&log, &spec, usize::MAX, true), 1);
+        // A tiny budget is infeasible: falls back to one part per window.
+        assert_eq!(parts_for_memory_budget(&log, &spec, 1, true), spec.count);
+        // A middling budget: the chosen count is feasible and the one
+        // below it is not.
+        let set1 =
+            MultiWindowSet::build(&log, spec, 1, true, PartitionStrategy::EqualWindows).unwrap();
+        let budget = set1.graphs()[0].memory_bytes() / 2;
+        let parts = parts_for_memory_budget(&log, &spec, budget, true);
+        assert!(parts >= 2);
+        let set = MultiWindowSet::build(&log, spec, parts, true, PartitionStrategy::EqualWindows)
+            .unwrap();
+        let worst = set.graphs().iter().map(|g| g.memory_bytes()).max().unwrap();
+        // The estimate is an upper bound, so the real footprint fits too.
+        assert!(
+            worst <= budget,
+            "worst part {worst} exceeds budget {budget}"
+        );
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 2, true, PartitionStrategy::EqualWindows).unwrap();
+        assert!(set.memory_bytes() > 0);
+        assert_eq!(
+            set.memory_bytes(),
+            set.graphs().iter().map(|g| g.memory_bytes()).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # tempopr-kernel
+//!
+//! PageRank computation kernels for postmortem temporal graph analysis
+//! (Hossain & Saule, ICPP '22, §2.2 and §4.3-4.4):
+//!
+//! - [`pagerank`]: pull-style SpMV power iteration over one window of a
+//!   temporal CSR, with uniform / provided / partial (Eq. 4)
+//!   initialization;
+//! - [`spmm`]: the SpMM-inspired batched kernel computing many windows of
+//!   one multi-window graph simultaneously on interleaved rank vectors;
+//! - [`scheduler`]: the TBB partitioner analogues (auto / simple / static
+//!   + grain size) on top of rayon's work-stealing pool;
+//! - [`linear_system`]: exact dense solution of the paper's Eq. 2 (the
+//!   validation oracle for every iterative kernel);
+//! - [`personalized`]: windowed personalized PageRank (seed-relative
+//!   importance);
+//! - [`propagation`]: a push-style kernel with propagation blocking
+//!   (Beamer et al., cited in §2.2 as compatible);
+//! - [`mod@reference`]: the slow, obvious implementation every kernel is
+//!   tested against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linear_system;
+pub mod pagerank;
+pub mod personalized;
+pub mod propagation;
+pub mod reference;
+pub mod scheduler;
+pub mod spmm;
+
+pub use linear_system::solve_pagerank_exact;
+pub use pagerank::{
+    pagerank_csr, pagerank_window, pagerank_window_vec, Init, PrConfig, PrStats, PrWorkspace,
+};
+pub use personalized::pagerank_window_personalized;
+pub use propagation::{pagerank_window_blocking, BlockingWorkspace};
+pub use reference::reference_pagerank;
+pub use scheduler::{thread_pool, Partitioner, Scheduler};
+pub use spmm::{pagerank_batch, SpmmWorkspace, MAX_LANES};

@@ -1,0 +1,748 @@
+//! Window PageRank by pull-style SpMV over the temporal CSR (paper §2.2,
+//! §4.1).
+//!
+//! One iteration traverses every stored entry of the (multi-window)
+//! temporal CSR once, testing each neighbor run against the window's time
+//! range — `Θ(entries)` per SpMV, exactly the cost model of the paper. The
+//! kernel supports three initializations: uniform, a caller-provided
+//! vector, and the paper's *partial initialization* (Eq. 4) from the
+//! previous window's ranks.
+//!
+//! ## Shared semantics
+//! All PageRank implementations in this workspace agree on:
+//! - simple-graph semantics (duplicate events in a window count once);
+//! - the active set `V_i` = vertices with at least one in-window edge;
+//!   `n = |V_i|`; inactive vertices hold rank 0;
+//! - teleport `α` (default 0.15) paid to active vertices only, dangling
+//!   rank mass redistributed uniformly over `V_i`;
+//! - convergence when the L1 difference of successive iterates < `tol`.
+
+use crate::scheduler::Scheduler;
+use tempopr_graph::{Csr, TemporalCsr, TimeRange, VertexId};
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrConfig {
+    /// Teleportation probability `α` in Eq. 1 (damping factor is `1 - α`).
+    pub alpha: f64,
+    /// L1 convergence tolerance. The default 1e-6 converges in well under
+    /// the 100-iteration cap at the default damping (L1 error decays as
+    /// `(1-α)^k ≈ 0.85^k`); much tighter tolerances would hit the cap and
+    /// mask warm-start savings.
+    pub tol: f64,
+    /// Iteration cap (implementations "execute a fixed number of iterations
+    /// at most", §2.2).
+    pub max_iters: usize,
+}
+
+impl Default for PrConfig {
+    fn default() -> Self {
+        PrConfig {
+            alpha: 0.15,
+            tol: 1e-6,
+            max_iters: 100,
+        }
+    }
+}
+
+/// Outcome of one window's PageRank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached within `max_iters`.
+    pub converged: bool,
+    /// `|V_i|`: vertices active in the window.
+    pub active_vertices: usize,
+}
+
+/// How the rank vector is initialized before iterating.
+#[derive(Debug, Clone, Copy)]
+pub enum Init<'a> {
+    /// `1/|V_i|` on every active vertex (§4.2 "the most common
+    /// initialization").
+    Uniform,
+    /// A caller-supplied distribution; masked to the active set and
+    /// renormalized (falls back to uniform if the masked sum vanishes).
+    Provided(&'a [f64]),
+    /// Partial initialization from the previous window's ranks (Eq. 4):
+    /// vertices present in both windows keep their scaled previous rank,
+    /// newcomers get the uniform share. Membership in `V_{i-1}` is inferred
+    /// from a strictly positive previous rank.
+    Partial(&'a [f64]),
+}
+
+/// Reusable buffers so per-window PageRank makes no heap allocations in
+/// steady state (perf-book: workhorse collections).
+#[derive(Debug, Default, Clone)]
+pub struct PrWorkspace {
+    /// Out-degree of each vertex in the current window.
+    pub deg_out: Vec<u32>,
+    /// In-degree (directed graphs only; empty for symmetric).
+    pub deg_in: Vec<u32>,
+    /// `1/deg_out` or 0.
+    pub inv_deg: Vec<f64>,
+    /// Active-set membership for the current window.
+    pub active: Vec<bool>,
+    /// The active vertices, ascending — power iterations loop over this
+    /// compact list so a window's cost is `Θ(|V_i| + edges scanned)`, not
+    /// `Θ(V)` per iteration.
+    pub active_list: Vec<u32>,
+    /// Current iterate; holds the result after a call.
+    pub x: Vec<f64>,
+    /// Scratch for the next iterate, indexed by active-list position.
+    pub y: Vec<f64>,
+}
+
+impl PrWorkspace {
+    /// Resizes every buffer for `n` vertices.
+    pub fn ensure(&mut self, n: usize) {
+        self.deg_out.clear();
+        self.deg_out.resize(n, 0);
+        self.inv_deg.clear();
+        self.inv_deg.resize(n, 0.0);
+        self.active.clear();
+        self.active.resize(n, false);
+        self.active_list.clear();
+        self.x.clear();
+        self.x.resize(n, 0.0);
+        self.y.clear();
+        self.y.resize(n, 0.0);
+    }
+
+    /// The rank vector computed by the last call.
+    pub fn ranks(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// The pull sum for one destination vertex: Σ over active in-runs of
+/// `x[u] · inv_deg[u]`.
+#[inline]
+fn pull_sum(pull: &TemporalCsr, range: TimeRange, x: &[f64], inv_deg: &[f64], v: VertexId) -> f64 {
+    let mut s = 0.0;
+    for run in pull.runs(v) {
+        if run.active_in(range) {
+            let u = run.neighbor as usize;
+            s += x[u] * inv_deg[u];
+        }
+    }
+    s
+}
+
+/// Computes PageRank for one window of a temporal CSR.
+///
+/// `pull` holds in-edges, `push` out-edges; pass the same reference twice
+/// for a symmetric (undirected) build. If `sched` is `Some`, the degree
+/// pass and every SpMV run in parallel under that scheduler (the paper's
+/// application-level parallelism); otherwise everything is sequential (the
+/// inner kernel of window-level parallelism).
+///
+/// The result lands in `ws.x` (see [`PrWorkspace::ranks`]).
+pub fn pagerank_window(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    range: TimeRange,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+) -> PrStats {
+    let n = pull.num_vertices();
+    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    ws.ensure(n);
+    let directed = !std::ptr::eq(pull, push);
+
+    // --- Degree / activity pass -----------------------------------------
+    match sched {
+        Some(s) => {
+            let deg_out = &mut ws.deg_out;
+            s.map_reduce_slice_mut(
+                deg_out,
+                (),
+                |off, slice| {
+                    for (i, d) in slice.iter_mut().enumerate() {
+                        *d = push.active_degree((off + i) as VertexId, range) as u32;
+                    }
+                },
+                |_, _| (),
+            );
+        }
+        None => {
+            for v in 0..n {
+                ws.deg_out[v] = push.active_degree(v as VertexId, range) as u32;
+            }
+        }
+    }
+    if directed {
+        ws.deg_in.clear();
+        ws.deg_in.resize(n, 0);
+        for v in 0..n {
+            ws.deg_in[v] = pull.active_degree(v as VertexId, range) as u32;
+        }
+    } else {
+        ws.deg_in.clear();
+    }
+    let mut has_dangling = false;
+    for v in 0..n {
+        let act = ws.deg_out[v] > 0 || (directed && ws.deg_in[v] > 0);
+        ws.active[v] = act;
+        if act {
+            ws.active_list.push(v as u32);
+            if ws.deg_out[v] == 0 {
+                has_dangling = true;
+            } else {
+                ws.inv_deg[v] = 1.0 / ws.deg_out[v] as f64;
+            }
+        }
+    }
+    let n_act = ws.active_list.len();
+    if n_act == 0 {
+        return PrStats {
+            iterations: 0,
+            converged: true,
+            active_vertices: 0,
+        };
+    }
+    let n_act_f = n_act as f64;
+
+    // --- Initialization ---------------------------------------------------
+    initialize(init, &ws.active, n_act_f, &mut ws.x);
+
+    // --- Power iteration ---------------------------------------------------
+    // Iterations loop over the compact active list; inactive vertices keep
+    // their initial 0 forever. The new iterate lands in `y` by list
+    // position and is scattered back into `x` after each pass.
+    let alpha = cfg.alpha;
+    let damp = 1.0 - alpha;
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < cfg.max_iters {
+        iterations += 1;
+        let list = &ws.active_list;
+        let dangling: f64 = if has_dangling {
+            list.iter()
+                .filter(|&&v| ws.deg_out[v as usize] == 0)
+                .map(|&v| ws.x[v as usize])
+                .sum()
+        } else {
+            0.0
+        };
+        let base = alpha / n_act_f + damp * dangling / n_act_f;
+        let x = &ws.x;
+        let inv_deg = &ws.inv_deg;
+        let compact = &mut ws.y[..n_act];
+        let body = |off: usize, slice: &mut [f64]| {
+            let mut d = 0.0;
+            for (i, yv) in slice.iter_mut().enumerate() {
+                let v = list[off + i];
+                let val = base + damp * pull_sum(pull, range, x, inv_deg, v);
+                d += (val - x[v as usize]).abs();
+                *yv = val;
+            }
+            d
+        };
+        let diff = match sched {
+            Some(s) => s.map_reduce_slice_mut(compact, 0.0f64, body, |a, b| a + b),
+            None => body(0, compact),
+        };
+        for (i, &v) in ws.active_list.iter().enumerate() {
+            ws.x[v as usize] = ws.y[i];
+        }
+        if diff < cfg.tol {
+            converged = true;
+            break;
+        }
+    }
+    PrStats {
+        iterations,
+        converged,
+        active_vertices: n_act,
+    }
+}
+
+/// Computes PageRank on a static CSR graph — the kernel of the *offline*
+/// execution model, which rebuilds a fresh [`Csr`] per window (§3.3.1).
+///
+/// `pull` holds in-edges and `push` out-edges; pass the same reference for
+/// symmetric graphs. Semantics identical to [`pagerank_window`].
+pub fn pagerank_csr(
+    pull: &Csr,
+    push: &Csr,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+) -> PrStats {
+    let n = pull.num_vertices();
+    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    ws.ensure(n);
+    let directed = !std::ptr::eq(pull, push);
+    let mut has_dangling = false;
+    for v in 0..n {
+        let out = push.degree(v as VertexId);
+        let act = out > 0 || (directed && pull.degree(v as VertexId) > 0);
+        ws.deg_out[v] = out as u32;
+        ws.active[v] = act;
+        if act {
+            ws.active_list.push(v as u32);
+            if out == 0 {
+                has_dangling = true;
+            } else {
+                ws.inv_deg[v] = 1.0 / out as f64;
+            }
+        }
+    }
+    let n_act = ws.active_list.len();
+    if n_act == 0 {
+        return PrStats {
+            iterations: 0,
+            converged: true,
+            active_vertices: 0,
+        };
+    }
+    let n_act_f = n_act as f64;
+    initialize(init, &ws.active, n_act_f, &mut ws.x);
+    let alpha = cfg.alpha;
+    let damp = 1.0 - alpha;
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < cfg.max_iters {
+        iterations += 1;
+        let list = &ws.active_list;
+        let dangling: f64 = if has_dangling {
+            list.iter()
+                .filter(|&&v| ws.deg_out[v as usize] == 0)
+                .map(|&v| ws.x[v as usize])
+                .sum()
+        } else {
+            0.0
+        };
+        let base = alpha / n_act_f + damp * dangling / n_act_f;
+        let x = &ws.x;
+        let inv_deg = &ws.inv_deg;
+        let compact = &mut ws.y[..n_act];
+        let body = |off: usize, slice: &mut [f64]| {
+            let mut d = 0.0;
+            for (i, yv) in slice.iter_mut().enumerate() {
+                let v = list[off + i];
+                let mut s = 0.0;
+                for &u in pull.neighbors(v) {
+                    s += x[u as usize] * inv_deg[u as usize];
+                }
+                let val = base + damp * s;
+                d += (val - x[v as usize]).abs();
+                *yv = val;
+            }
+            d
+        };
+        let diff = match sched {
+            Some(s) => s.map_reduce_slice_mut(compact, 0.0f64, body, |a, b| a + b),
+            None => body(0, compact),
+        };
+        for (i, &v) in ws.active_list.iter().enumerate() {
+            ws.x[v as usize] = ws.y[i];
+        }
+        if diff < cfg.tol {
+            converged = true;
+            break;
+        }
+    }
+    PrStats {
+        iterations,
+        converged,
+        active_vertices: n_act,
+    }
+}
+
+/// Convenience wrapper allocating a fresh workspace and returning the rank
+/// vector.
+///
+/// ```
+/// use tempopr_graph::{Event, TemporalCsr, TimeRange};
+/// use tempopr_kernel::{pagerank_window_vec, Init, PrConfig};
+/// let t = TemporalCsr::from_events(
+///     3,
+///     &[Event::new(0, 1, 1), Event::new(1, 2, 2)],
+///     true,
+/// );
+/// let (ranks, stats) = pagerank_window_vec(
+///     &t, &t, TimeRange::new(0, 10), Init::Uniform, &PrConfig::default(), None,
+/// );
+/// assert!(stats.converged);
+/// assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+/// assert!(ranks[1] > ranks[0], "the middle vertex is most central");
+/// ```
+pub fn pagerank_window_vec(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    range: TimeRange,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+) -> (Vec<f64>, PrStats) {
+    let mut ws = PrWorkspace::default();
+    let stats = pagerank_window(pull, push, range, init, cfg, sched, &mut ws);
+    (ws.x, stats)
+}
+
+/// Fills `x` according to `init` over the active set: the shared
+/// initialization semantics (uniform / provided / partial Eq. 4) used by
+/// every kernel in the workspace, including the streaming baseline.
+pub fn initialize(init: Init<'_>, active: &[bool], n_act: f64, x: &mut [f64]) {
+    let n = active.len();
+    match init {
+        Init::Uniform => {
+            for v in 0..n {
+                x[v] = if active[v] { 1.0 / n_act } else { 0.0 };
+            }
+        }
+        Init::Provided(p) => {
+            assert_eq!(p.len(), n, "provided init has wrong length");
+            let mut sum = 0.0;
+            for v in 0..n {
+                if active[v] && p[v] > 0.0 {
+                    sum += p[v];
+                }
+            }
+            if sum <= 0.0 {
+                initialize(Init::Uniform, active, n_act, x);
+                return;
+            }
+            for v in 0..n {
+                x[v] = if active[v] && p[v] > 0.0 {
+                    p[v] / sum
+                } else {
+                    0.0
+                };
+            }
+        }
+        Init::Partial(prev) => {
+            assert_eq!(prev.len(), n, "previous ranks have wrong length");
+            // Eq. 4: shared vertices keep their scaled rank so the shared
+            // mass is |Vi ∩ Vi-1| / |Vi|; newcomers take the uniform share.
+            let mut shared = 0usize;
+            let mut shared_sum = 0.0f64;
+            for v in 0..n {
+                if active[v] && prev[v] > 0.0 {
+                    shared += 1;
+                    shared_sum += prev[v];
+                }
+            }
+            if shared == 0 || shared_sum <= 0.0 {
+                initialize(Init::Uniform, active, n_act, x);
+                return;
+            }
+            let factor = (shared as f64 / n_act) / shared_sum;
+            for v in 0..n {
+                x[v] = if !active[v] {
+                    0.0
+                } else if prev[v] > 0.0 {
+                    prev[v] * factor
+                } else {
+                    1.0 / n_act
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_pagerank;
+    use crate::scheduler::{Partitioner, Scheduler};
+    use tempopr_graph::{Event, TemporalCsr};
+
+    fn cfg() -> PrConfig {
+        PrConfig {
+            alpha: 0.15,
+            tol: 1e-12,
+            max_iters: 500,
+        }
+    }
+
+    /// Brute-force directed edge list of a window (symmetric build).
+    fn window_edges(events: &[Event], range: TimeRange, symmetric: bool) -> Vec<(u32, u32)> {
+        let mut e = Vec::new();
+        for ev in events {
+            if range.contains(ev.t) {
+                e.push((ev.u, ev.v));
+                if symmetric && ev.u != ev.v {
+                    e.push((ev.v, ev.u));
+                }
+            }
+        }
+        e.sort_unstable();
+        e.dedup();
+        e
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::new(0, 1, 0),
+            Event::new(1, 2, 5),
+            Event::new(2, 3, 10),
+            Event::new(3, 0, 15),
+            Event::new(1, 3, 20),
+            Event::new(0, 1, 25),
+            Event::new(4, 5, 30),
+            Event::new(2, 4, 35),
+        ]
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_symmetric_window() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        for range in [
+            TimeRange::new(0, 15),
+            TimeRange::new(10, 30),
+            TimeRange::new(0, 40),
+            TimeRange::new(26, 40),
+        ] {
+            let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+            let edges = window_edges(&events, range, true);
+            let r = reference_pagerank(6, &edges, &cfg());
+            assert_close(&x, &r, 1e-9);
+            assert!(stats.converged);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_directed_window() {
+        let events = sample_events();
+        let out = TemporalCsr::from_events(6, &events, false);
+        let pull = out.transpose();
+        let range = TimeRange::new(0, 25);
+        let (x, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None);
+        let edges = window_edges(&events, range, false);
+        let r = reference_pagerank(6, &edges, &cfg());
+        assert_close(&x, &r, 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let range = TimeRange::new(0, 40);
+        let (seq, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            for g in [1, 2, 64] {
+                let s = Scheduler::new(part, g);
+                let (par, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), Some(&s));
+                assert_close(&seq, &par, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window_returns_zero() {
+        let t = TemporalCsr::from_events(3, &[Event::new(0, 1, 5)], true);
+        let (x, stats) =
+            pagerank_window_vec(&t, &t, TimeRange::new(10, 20), Init::Uniform, &cfg(), None);
+        assert_eq!(x, vec![0.0; 3]);
+        assert_eq!(stats.active_vertices, 0);
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn ranks_form_distribution_over_active_set() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let range = TimeRange::new(0, 20); // vertices 4,5 inactive
+        let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+        assert_eq!(stats.active_vertices, 4);
+        assert_eq!(x[4], 0.0);
+        assert_eq!(x[5], 0.0);
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_init_reaches_same_fixed_point() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let r0 = TimeRange::new(0, 20);
+        let r1 = TimeRange::new(10, 35);
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &cfg(), None);
+        let (full, _) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &cfg(), None);
+        let (part, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None);
+        assert_close(&full, &part, 1e-8);
+    }
+
+    #[test]
+    fn partial_init_converges_no_slower_on_overlapping_windows() {
+        // Build a chain-heavy graph with many events so windows overlap a lot.
+        let mut events = Vec::new();
+        for i in 0..200u32 {
+            events.push(Event::new(i % 40, (i * 7 + 1) % 40, i as i64));
+        }
+        let t = TemporalCsr::from_events(40, &events, true);
+        let r0 = TimeRange::new(0, 150);
+        let r1 = TimeRange::new(10, 160);
+        let c = PrConfig {
+            alpha: 0.15,
+            tol: 1e-10,
+            max_iters: 200,
+        };
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &c, None);
+        let (_, full) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &c, None);
+        let (_, part) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &c, None);
+        assert!(
+            part.iterations <= full.iterations,
+            "partial {} vs full {}",
+            part.iterations,
+            full.iterations
+        );
+    }
+
+    #[test]
+    fn partial_init_mass_split_matches_eq4() {
+        // V_i = {0,1,2}, V_{i-1} = {0,1}: shared mass should be 2/3.
+        let active = vec![true, true, true, false];
+        let prev = vec![0.7, 0.3, 0.0, 0.0];
+        let mut x = vec![0.0; 4];
+        initialize(Init::Partial(&prev), &active, 3.0, &mut x);
+        assert!((x[0] + x[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((x[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(x[3], 0.0);
+        // Relative order within shared vertices preserved.
+        assert!(x[0] > x[1]);
+    }
+
+    #[test]
+    fn partial_init_with_disjoint_sets_falls_back_to_uniform() {
+        let active = vec![false, false, true, true];
+        let prev = vec![0.5, 0.5, 0.0, 0.0];
+        let mut x = vec![0.0; 4];
+        initialize(Init::Partial(&prev), &active, 2.0, &mut x);
+        assert_eq!(x, vec![0.0, 0.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn provided_init_is_masked_and_normalized() {
+        let active = vec![true, true, false];
+        let p = vec![3.0, 1.0, 5.0];
+        let mut x = vec![0.0; 3];
+        initialize(Init::Provided(&p), &active, 2.0, &mut x);
+        assert!((x[0] - 0.75).abs() < 1e-12);
+        assert!((x[1] - 0.25).abs() < 1e-12);
+        assert_eq!(x[2], 0.0);
+    }
+
+    #[test]
+    fn max_iters_caps_work() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let c = PrConfig {
+            alpha: 0.15,
+            tol: 0.0, // unreachable tolerance
+            max_iters: 7,
+        };
+        let (_, stats) =
+            pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None);
+        assert_eq!(stats.iterations, 7);
+        assert!(!stats.converged);
+    }
+
+    #[test]
+    fn duplicate_events_within_window_do_not_skew_ranks() {
+        // Same edge observed 3 times in the window vs once: identical ranks.
+        let once = TemporalCsr::from_events(3, &[Event::new(0, 1, 1), Event::new(1, 2, 2)], true);
+        let thrice = TemporalCsr::from_events(
+            3,
+            &[
+                Event::new(0, 1, 1),
+                Event::new(0, 1, 2),
+                Event::new(0, 1, 3),
+                Event::new(1, 2, 2),
+            ],
+            true,
+        );
+        let r = TimeRange::new(0, 5);
+        let (a, _) = pagerank_window_vec(&once, &once, r, Init::Uniform, &cfg(), None);
+        let (b, _) = pagerank_window_vec(&thrice, &thrice, r, Init::Uniform, &cfg(), None);
+        assert_close(&a, &b, 1e-12);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        // Running a big window then a small one must not leak state.
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let mut ws = PrWorkspace::default();
+        pagerank_window(
+            &t,
+            &t,
+            TimeRange::new(0, 40),
+            Init::Uniform,
+            &cfg(),
+            None,
+            &mut ws,
+        );
+        let stats = pagerank_window(
+            &t,
+            &t,
+            TimeRange::new(30, 35),
+            Init::Uniform,
+            &cfg(),
+            None,
+            &mut ws,
+        );
+        let (fresh, fresh_stats) =
+            pagerank_window_vec(&t, &t, TimeRange::new(30, 35), Init::Uniform, &cfg(), None);
+        assert_eq!(stats.active_vertices, fresh_stats.active_vertices);
+        assert_close(ws.ranks(), &fresh, 1e-12);
+    }
+    #[test]
+    fn csr_kernel_matches_reference() {
+        use tempopr_graph::Csr;
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 1), (0, 3)];
+        let g = Csr::from_edges(5, edges.clone(), true);
+        let mut ws = PrWorkspace::default();
+        let stats = crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), None, &mut ws);
+        let mut sym = Vec::new();
+        for &(u, v) in &edges {
+            sym.push((u, v));
+            sym.push((v, u));
+        }
+        let r = reference_pagerank(5, &sym, &cfg());
+        assert_close(ws.ranks(), &r, 1e-9);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn csr_kernel_directed_with_dangling() {
+        use tempopr_graph::Csr;
+        let edges = vec![(0u32, 1u32), (1, 2), (0, 2)]; // 2 dangles
+        let out = Csr::from_edges(3, edges.clone(), false);
+        let pull = out.transpose();
+        let mut ws = PrWorkspace::default();
+        crate::pagerank::pagerank_csr(&pull, &out, Init::Uniform, &cfg(), None, &mut ws);
+        let r = reference_pagerank(3, &edges, &cfg());
+        assert_close(ws.ranks(), &r, 1e-9);
+    }
+
+    #[test]
+    fn csr_kernel_parallel_matches_sequential() {
+        use tempopr_graph::Csr;
+        let edges: Vec<(u32, u32)> = (0..60)
+            .map(|i| ((i * 13 + 1) % 20, (i * 7 + 3) % 20))
+            .collect();
+        let g = Csr::from_edges(20, edges, true);
+        let mut seq = PrWorkspace::default();
+        crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), None, &mut seq);
+        let s = Scheduler::new(Partitioner::Simple, 3);
+        let mut par = PrWorkspace::default();
+        crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), Some(&s), &mut par);
+        assert_close(seq.ranks(), par.ranks(), 1e-9);
+    }
+}

@@ -1,0 +1,421 @@
+//! Partitioner-aware parallel scheduling (paper §4.3, §6.3.2).
+//!
+//! The paper drives both window-level and vertex-level loops through Intel
+//! TBB, comparing `auto_partitioner`, `simple_partitioner`, and
+//! `static_partitioner` at many grain sizes. Rayon is the Rust counterpart
+//! of TBB's work-stealing scheduler; this module maps the three TBB
+//! partitioners onto rayon:
+//!
+//! - [`Partitioner::Auto`]: split the index range into grain-sized chunks
+//!   and let rayon's adaptive splitter decide how far to actually divide —
+//!   like TBB's `auto_partitioner`, chunks are only broken up when threads
+//!   run out of work.
+//! - [`Partitioner::Simple`]: force splitting all the way down to single
+//!   grain-sized chunks, like TBB's `simple_partitioner`.
+//! - [`Partitioner::Static`]: pre-split the range into exactly one even
+//!   piece per thread with no stealing benefit, like TBB's
+//!   `static_partitioner` (the grain size is ignored, as TBB does when the
+//!   even split already exceeds it).
+//!
+//! All loops in the crate funnel through [`Scheduler::for_each_range`] /
+//! [`Scheduler::map_reduce_range`], so every kernel inherits the three
+//! partitioners and the grain-size knob.
+
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// TBB partitioner analogue selecting how an index range is split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partitioner {
+    /// Work-stealing with adaptive splitting (TBB `auto_partitioner`).
+    #[default]
+    Auto,
+    /// Eager splitting down to grain-sized chunks (TBB `simple_partitioner`).
+    Simple,
+    /// Even per-thread pre-split, no stealing (TBB `static_partitioner`).
+    Static,
+}
+
+/// A partitioner plus grain size ("WS granularity size" in Figs. 7-10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduler {
+    /// Which partitioner to emulate.
+    pub partitioner: Partitioner,
+    /// Grain size: the minimum number of consecutive indices a task
+    /// processes (clamped to at least 1).
+    pub granularity: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler {
+            partitioner: Partitioner::Auto,
+            granularity: 1,
+        }
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler; granularity is clamped to at least 1.
+    pub fn new(partitioner: Partitioner, granularity: usize) -> Self {
+        Scheduler {
+            partitioner,
+            granularity: granularity.max(1),
+        }
+    }
+
+    /// The chunk boundaries this scheduler would use for `n` items: one
+    /// `Range` per leaf task.
+    pub fn chunks(&self, n: usize) -> Vec<Range<usize>> {
+        let g = self.granularity.max(1);
+        let chunk = match self.partitioner {
+            Partitioner::Auto | Partitioner::Simple => g,
+            Partitioner::Static => {
+                let t = rayon::current_num_threads().max(1);
+                n.div_ceil(t).max(1)
+            }
+        };
+        let mut out = Vec::with_capacity(n.div_ceil(chunk));
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            out.push(lo..hi);
+            lo = hi;
+        }
+        out
+    }
+
+    /// Runs `f` over every index chunk of `0..n` in parallel according to
+    /// the partitioner. `f` receives contiguous index ranges; consecutive
+    /// indices within a grain always land in the same invocation (this is
+    /// what lets window-level parallelism keep partial initialization:
+    /// consecutive windows in a grain run on one thread, in order).
+    pub fn for_each_range<F>(&self, n: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let chunks = self.chunks(n);
+        match self.partitioner {
+            // Adaptive: rayon may merge neighboring chunks into one task
+            // unless stealing demands splitting.
+            Partitioner::Auto => {
+                chunks.into_par_iter().for_each(&f);
+            }
+            // Eager: force one task per chunk.
+            Partitioner::Simple => {
+                chunks.into_par_iter().with_max_len(1).for_each(&f);
+            }
+            // Static: chunks are already one-per-thread; forbid merging.
+            Partitioner::Static => {
+                chunks.into_par_iter().with_max_len(1).for_each(&f);
+            }
+        }
+    }
+
+    /// Parallel map-reduce over index chunks: `map` produces a partial
+    /// value per chunk, folded with `reduce` from `identity`.
+    pub fn map_reduce_range<T, M, R>(&self, n: usize, identity: T, map: M, reduce: R) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        if n == 0 {
+            return identity;
+        }
+        let chunks = self.chunks(n);
+        let iter = chunks.into_par_iter();
+        match self.partitioner {
+            Partitioner::Auto => iter.map(&map).reduce(|| identity.clone(), &reduce),
+            Partitioner::Simple | Partitioner::Static => iter
+                .with_max_len(1)
+                .map(&map)
+                .reduce(|| identity.clone(), &reduce),
+        }
+    }
+
+    /// Parallel pass over disjoint mutable chunks of `data`, each paired
+    /// with its offset, reducing the per-chunk results. This is the shape of
+    /// a PageRank iteration: write `y[chunk]` while returning the chunk's
+    /// L1-difference contribution.
+    pub fn map_reduce_slice_mut<T, A, M, R>(
+        &self,
+        data: &mut [T],
+        identity: A,
+        map: M,
+        reduce: R,
+    ) -> A
+    where
+        T: Send,
+        A: Send + Sync + Clone,
+        M: Fn(usize, &mut [T]) -> A + Sync,
+        R: Fn(A, A) -> A + Sync + Send,
+    {
+        let n = data.len();
+        if n == 0 {
+            return identity;
+        }
+        let chunks = self.chunks(n);
+        // Carve `data` into the scheduler's chunks (disjoint, in order).
+        let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks.len());
+        let mut rest = data;
+        let mut offset = 0usize;
+        for c in &chunks {
+            debug_assert_eq!(c.start, offset);
+            let (head, tail) = rest.split_at_mut(c.len());
+            parts.push((offset, head));
+            rest = tail;
+            offset = c.end;
+        }
+        let iter = parts.into_par_iter();
+        match self.partitioner {
+            Partitioner::Auto => iter
+                .map(|(off, s)| map(off, s))
+                .reduce(|| identity.clone(), &reduce),
+            Partitioner::Simple | Partitioner::Static => iter
+                .with_max_len(1)
+                .map(|(off, s)| map(off, s))
+                .reduce(|| identity.clone(), &reduce),
+        }
+    }
+
+    /// Like [`Scheduler::map_reduce_slice_mut`] but for row-major data with
+    /// `width` elements per row: chunking happens over *rows*, so a chunk's
+    /// slice is always row-aligned. Used by the SpMM kernel, whose rank
+    /// matrix stores `vl` lanes per vertex.
+    pub fn map_reduce_rows_mut<T, A, M, R>(
+        &self,
+        data: &mut [T],
+        width: usize,
+        identity: A,
+        map: M,
+        reduce: R,
+    ) -> A
+    where
+        T: Send,
+        A: Send + Sync + Clone,
+        M: Fn(usize, &mut [T]) -> A + Sync,
+        R: Fn(A, A) -> A + Sync + Send,
+    {
+        assert!(
+            width > 0 && data.len().is_multiple_of(width),
+            "non-rectangular data"
+        );
+        let rows = data.len() / width;
+        if rows == 0 {
+            return identity;
+        }
+        let chunks = self.chunks(rows);
+        let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks.len());
+        let mut rest = data;
+        let mut row = 0usize;
+        for c in &chunks {
+            debug_assert_eq!(c.start, row);
+            let (head, tail) = rest.split_at_mut(c.len() * width);
+            parts.push((row, head));
+            rest = tail;
+            row = c.end;
+        }
+        let iter = parts.into_par_iter();
+        match self.partitioner {
+            Partitioner::Auto => iter
+                .map(|(r, s)| map(r, s))
+                .reduce(|| identity.clone(), &reduce),
+            Partitioner::Simple | Partitioner::Static => iter
+                .with_max_len(1)
+                .map(|(r, s)| map(r, s))
+                .reduce(|| identity.clone(), &reduce),
+        }
+    }
+
+    /// Sequential fallback with identical chunking, used by the
+    /// application-level mode's outer window loop.
+    pub fn for_each_range_seq<F>(&self, n: usize, mut f: F)
+    where
+        F: FnMut(Range<usize>),
+    {
+        for r in self.chunks(n) {
+            f(r);
+        }
+    }
+}
+
+/// Builds a rayon thread pool with `threads` workers (0 = rayon default,
+/// i.e. all cores). Experiments use dedicated pools so thread count is an
+/// explicit experimental variable instead of global state.
+pub fn thread_pool(threads: usize) -> rayon::ThreadPool {
+    let mut b = rayon::ThreadPoolBuilder::new();
+    if threads > 0 {
+        b = b.num_threads(threads);
+    }
+    b.build().expect("failed to build rayon thread pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            for g in [1usize, 3, 7, 100] {
+                let s = Scheduler::new(part, g);
+                for n in [0usize, 1, 5, 17, 64] {
+                    let chunks = s.chunks(n);
+                    let mut next = 0;
+                    for c in &chunks {
+                        assert_eq!(c.start, next);
+                        assert!(c.end > c.start);
+                        next = c.end;
+                    }
+                    assert_eq!(next, n, "partitioner {part:?} g={g} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_and_simple_respect_granularity() {
+        let s = Scheduler::new(Partitioner::Simple, 4);
+        let chunks = s.chunks(10);
+        assert_eq!(chunks, vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn static_splits_by_thread_count() {
+        let s = Scheduler::new(Partitioner::Static, 1);
+        let t = rayon::current_num_threads().max(1);
+        let chunks = s.chunks(10 * t);
+        assert_eq!(chunks.len(), t);
+    }
+
+    #[test]
+    fn granularity_clamped_to_one() {
+        let s = Scheduler::new(Partitioner::Auto, 0);
+        assert_eq!(s.granularity, 1);
+        assert_eq!(s.chunks(3).len(), 3);
+    }
+
+    #[test]
+    fn for_each_range_visits_every_index_once() {
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 3);
+            let n = 1000;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            s.for_each_range(n, |r| {
+                for i in r {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "{part:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_reduce_sums_correctly() {
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 7);
+            let total = s.map_reduce_range(100, 0usize, |r| r.sum::<usize>(), |a, b| a + b);
+            assert_eq!(total, 99 * 100 / 2, "{part:?}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_identity() {
+        let s = Scheduler::default();
+        assert_eq!(s.map_reduce_range(0, 42usize, |_| 0, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn sequential_fallback_is_ordered() {
+        let s = Scheduler::new(Partitioner::Auto, 4);
+        let seen = Mutex::new(Vec::new());
+        s.for_each_range_seq(10, |r| seen.lock().unwrap().push(r));
+        assert_eq!(*seen.lock().unwrap(), vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn map_reduce_slice_mut_writes_and_reduces() {
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 3);
+            let mut data = vec![0usize; 20];
+            let sum = s.map_reduce_slice_mut(
+                &mut data,
+                0usize,
+                |off, slice| {
+                    let mut acc = 0;
+                    for (i, x) in slice.iter_mut().enumerate() {
+                        *x = off + i;
+                        acc += *x;
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(sum, 19 * 20 / 2, "{part:?}");
+            let expect: Vec<usize> = (0..20).collect();
+            assert_eq!(data, expect, "{part:?}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_slice_mut_empty() {
+        let s = Scheduler::default();
+        let mut data: Vec<u8> = vec![];
+        let r = s.map_reduce_slice_mut(&mut data, 7u32, |_, _| 0, |a, b| a + b);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn map_reduce_rows_mut_is_row_aligned() {
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 2);
+            let width = 3;
+            let mut data = vec![0usize; 7 * width];
+            let total = s.map_reduce_rows_mut(
+                &mut data,
+                width,
+                0usize,
+                |row0, slice| {
+                    assert_eq!(slice.len() % width, 0);
+                    let mut acc = 0;
+                    for (i, x) in slice.iter_mut().enumerate() {
+                        let row = row0 + i / width;
+                        *x = row;
+                        acc += row;
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(total, (0..7).map(|r| r * width).sum::<usize>(), "{part:?}");
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, i / width);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-rectangular")]
+    fn map_reduce_rows_mut_rejects_ragged() {
+        let s = Scheduler::default();
+        let mut data = vec![0u8; 7];
+        s.map_reduce_rows_mut(&mut data, 3, (), |_, _| (), |_, _| ());
+    }
+
+    #[test]
+    fn custom_thread_pool_runs_work() {
+        let pool = thread_pool(2);
+        let s = Scheduler::new(Partitioner::Auto, 1);
+        let sum = pool.install(|| s.map_reduce_range(10, 0usize, |r| r.sum(), |a, b| a + b));
+        assert_eq!(sum, 45);
+    }
+}

@@ -1,0 +1,555 @@
+//! SpMM-inspired batched PageRank (paper §4.4).
+//!
+//! The SpMV kernel reads the whole multi-window temporal CSR once per
+//! iteration per window. When several windows live in the *same*
+//! multi-window graph, the matrix can be read once for all of them: keep
+//! `vl` ("vector length", 8 or 16 in the paper) rank vectors interleaved
+//! column-major (`x[v*vl + k]`) and update every lane while each neighbor
+//! run is hot in cache. The formerly random accesses to one rank vector
+//! become `vl`-wide regular accesses — the access-pattern transformation
+//! SpMM is prized for.
+//!
+//! Window membership per run is folded into a per-run **lane bitmask**,
+//! computed once per batch (the single extra read of the matrix) and then
+//! reused by every iteration, so the per-iteration inner loop is pure
+//! arithmetic plus a popcount-style mask walk.
+
+use crate::pagerank::{Init, PrConfig, PrStats};
+use crate::scheduler::Scheduler;
+use tempopr_graph::{TemporalCsr, TimeRange, VertexId};
+
+/// Maximum lanes per batch (masks are `u64`).
+pub const MAX_LANES: usize = 64;
+
+/// Reusable buffers for batched PageRank.
+#[derive(Debug, Default, Clone)]
+pub struct SpmmWorkspace {
+    /// Interleaved rank matrix, `n * vl`, current iterate.
+    pub x: Vec<f64>,
+    /// Next iterate.
+    pub y: Vec<f64>,
+    /// Interleaved `1/outdeg` (0 where inactive or dangling).
+    pub inv_deg: Vec<f64>,
+    /// Per-vertex lane bitmask: bit `k` set iff the vertex is active in
+    /// window `k`.
+    pub active_mask: Vec<u64>,
+    /// Per-vertex lane bitmask of *dangling* lanes (active, out-degree 0).
+    pub dangling_mask: Vec<u64>,
+    /// Vertices active in at least one lane, ascending — iterations loop
+    /// over this compact list instead of the whole vertex space.
+    pub active_list: Vec<u32>,
+    /// Run-compressed pull adjacency: offsets per vertex (`n+1`).
+    pub run_row: Vec<usize>,
+    /// Neighbor per run.
+    pub run_nbr: Vec<VertexId>,
+    /// In-window lane bitmask per run.
+    pub run_mask: Vec<u64>,
+}
+
+impl SpmmWorkspace {
+    /// Extracts lane `k` as a contiguous rank vector of length `n`.
+    pub fn lane(&self, k: usize, vl: usize) -> Vec<f64> {
+        assert!(k < vl);
+        let n = self.x.len() / vl;
+        (0..n).map(|v| self.x[v * vl + k]).collect()
+    }
+
+    /// Copies lane `k` into `out` (length `n`).
+    pub fn copy_lane_into(&self, k: usize, vl: usize, out: &mut [f64]) {
+        assert!(k < vl);
+        let n = self.x.len() / vl;
+        assert_eq!(out.len(), n);
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = self.x[v * vl + k];
+        }
+    }
+}
+
+/// Runs PageRank simultaneously on up to [`MAX_LANES`] windows of the same
+/// temporal CSR.
+///
+/// `ranges[k]` is lane `k`'s window; `inits[k]` its initialization (see
+/// [`Init`]). `pull`/`push` as in [`crate::pagerank::pagerank_window`];
+/// pass the same reference for symmetric builds. Lanes converge
+/// independently; iteration stops when every lane has converged (or at
+/// `cfg.max_iters`). Results are interleaved in `ws.x`
+/// (use [`SpmmWorkspace::lane`]).
+pub fn pagerank_batch(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    ranges: &[TimeRange],
+    inits: &[Init<'_>],
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut SpmmWorkspace,
+) -> Vec<PrStats> {
+    let vl = ranges.len();
+    assert!(vl > 0 && vl <= MAX_LANES, "1..=64 lanes required, got {vl}");
+    assert_eq!(inits.len(), vl, "one init per lane required");
+    let n = pull.num_vertices();
+    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    let directed = !std::ptr::eq(pull, push);
+
+    // --- Per-batch precompute: run-compressed adjacency + lane masks ----
+    build_run_masks(pull, ranges, ws);
+    // Out-degrees per lane (interleaved), from the push structure.
+    ws.inv_deg.clear();
+    ws.inv_deg.resize(n * vl, 0.0);
+    ws.active_mask.clear();
+    ws.active_mask.resize(n, 0);
+    ws.dangling_mask.clear();
+    ws.dangling_mask.resize(n, 0);
+    let mut out_deg = vec![0u32; vl]; // per-vertex scratch
+    for v in 0..n {
+        out_deg.iter_mut().for_each(|d| *d = 0);
+        let mut in_mask = 0u64;
+        if directed {
+            // Out-degrees from push runs.
+            for run in push.runs(v as VertexId) {
+                for (k, r) in ranges.iter().enumerate() {
+                    if run.active_in(*r) {
+                        out_deg[k] += 1;
+                    }
+                }
+            }
+            // In-activity from the precomputed pull masks.
+            for i in ws.run_row[v]..ws.run_row[v + 1] {
+                in_mask |= ws.run_mask[i];
+            }
+        } else {
+            // Symmetric: pull masks give both degree and activity.
+            for i in ws.run_row[v]..ws.run_row[v + 1] {
+                let m = ws.run_mask[i];
+                in_mask |= m;
+                let mut mm = m;
+                while mm != 0 {
+                    let k = mm.trailing_zeros() as usize;
+                    out_deg[k] += 1;
+                    mm &= mm - 1;
+                }
+            }
+        }
+        let mut active = in_mask;
+        let mut dangling = 0u64;
+        for (k, &d) in out_deg.iter().enumerate() {
+            if d > 0 {
+                active |= 1 << k;
+                ws.inv_deg[v * vl + k] = 1.0 / d as f64;
+            } else if active & (1 << k) != 0 {
+                dangling |= 1 << k;
+            }
+        }
+        ws.active_mask[v] = active;
+        ws.dangling_mask[v] = dangling;
+    }
+
+    // Active-vertex counts per lane, and the union active list.
+    ws.active_list.clear();
+    let mut n_act = vec![0usize; vl];
+    for v in 0..n {
+        let mut m = ws.active_mask[v];
+        if m != 0 {
+            ws.active_list.push(v as u32);
+        }
+        while m != 0 {
+            n_act[m.trailing_zeros() as usize] += 1;
+            m &= m - 1;
+        }
+    }
+
+    // --- Initialization ---------------------------------------------------
+    ws.x.clear();
+    ws.x.resize(n * vl, 0.0);
+    ws.y.clear();
+    ws.y.resize(n * vl, 0.0);
+    for k in 0..vl {
+        initialize_lane(inits[k], k, vl, &ws.active_mask, n_act[k], &mut ws.x);
+    }
+
+    // --- Batched power iteration ------------------------------------------
+    let alpha = cfg.alpha;
+    let damp = 1.0 - alpha;
+    let has_dangling = ws.dangling_mask.iter().any(|&m| m != 0);
+    let mut stats: Vec<PrStats> = (0..vl)
+        .map(|k| PrStats {
+            iterations: 0,
+            converged: n_act[k] == 0,
+            active_vertices: n_act[k],
+        })
+        .collect();
+    let mut done: u64 = stats
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.converged)
+        .fold(0u64, |m, (k, _)| m | (1 << k));
+    let all_done = if vl == 64 { u64::MAX } else { (1u64 << vl) - 1 };
+
+    let mut iter = 0usize;
+    while done != all_done && iter < cfg.max_iters {
+        iter += 1;
+        // Lanes that already converged are masked out of the pull walk and
+        // keep their current values; only live lanes pay for the iteration.
+        let live = !done & all_done;
+        // Dangling mass per lane (active-list scan).
+        let mut base = [0.0f64; MAX_LANES];
+        if has_dangling {
+            for &v in &ws.active_list {
+                let v = v as usize;
+                let mut m = ws.dangling_mask[v];
+                while m != 0 {
+                    let k = m.trailing_zeros() as usize;
+                    base[k] += ws.x[v * vl + k];
+                    m &= m - 1;
+                }
+            }
+        }
+        for k in 0..vl {
+            if n_act[k] > 0 {
+                base[k] = alpha / n_act[k] as f64 + damp * base[k] / n_act[k] as f64;
+            }
+        }
+
+        let n_active = ws.active_list.len();
+        let list = &ws.active_list;
+        let x = &ws.x;
+        let inv_deg = &ws.inv_deg;
+        let active_mask = &ws.active_mask;
+        let run_row = &ws.run_row;
+        let run_nbr = &ws.run_nbr;
+        let run_mask = &ws.run_mask;
+        // Compact next-iterate matrix: row r of `ws.y` belongs to
+        // active_list[r]; scattered back into `ws.x` after the pass.
+        let compact = &mut ws.y[..n_active * vl];
+        let body = |r0: usize, rows: &mut [f64]| -> [f64; MAX_LANES] {
+            let mut diff = [0.0f64; MAX_LANES];
+            let nrows = rows.len() / vl;
+            let mut acc = [0.0f64; MAX_LANES];
+            for r in 0..nrows {
+                let v = list[r0 + r] as usize;
+                let am = active_mask[v];
+                let row = &mut rows[r * vl..(r + 1) * vl];
+                acc[..vl].iter_mut().for_each(|a| *a = 0.0);
+                for i in run_row[v]..run_row[v + 1] {
+                    let u = run_nbr[i] as usize;
+                    let mut m = run_mask[i] & live;
+                    while m != 0 {
+                        let k = m.trailing_zeros() as usize;
+                        acc[k] += x[u * vl + k] * inv_deg[u * vl + k];
+                        m &= m - 1;
+                    }
+                }
+                for (k, y) in row.iter_mut().enumerate() {
+                    let bit = 1u64 << k;
+                    let val = if live & bit == 0 {
+                        x[v * vl + k] // converged lane: hold its value
+                    } else if am & bit != 0 {
+                        base[k] + damp * acc[k]
+                    } else {
+                        0.0
+                    };
+                    diff[k] += (val - x[v * vl + k]).abs();
+                    *y = val;
+                }
+            }
+            diff
+        };
+        let reduce = |mut a: [f64; MAX_LANES], b: [f64; MAX_LANES]| {
+            for k in 0..MAX_LANES {
+                a[k] += b[k];
+            }
+            a
+        };
+        let diff = match sched {
+            Some(s) => s.map_reduce_rows_mut(compact, vl, [0.0; MAX_LANES], body, reduce),
+            None => body(0, compact),
+        };
+        for (r, &v) in ws.active_list.iter().enumerate() {
+            let v = v as usize;
+            ws.x[v * vl..(v + 1) * vl].copy_from_slice(&ws.y[r * vl..(r + 1) * vl]);
+        }
+        for k in 0..vl {
+            if done & (1 << k) != 0 {
+                continue;
+            }
+            stats[k].iterations = iter;
+            if diff[k] < cfg.tol {
+                stats[k].converged = true;
+                done |= 1 << k;
+            }
+        }
+    }
+    stats
+}
+
+/// Builds the run-compressed pull adjacency with per-run lane masks.
+fn build_run_masks(pull: &TemporalCsr, ranges: &[TimeRange], ws: &mut SpmmWorkspace) {
+    let n = pull.num_vertices();
+    ws.run_row.clear();
+    ws.run_row.reserve(n + 1);
+    ws.run_nbr.clear();
+    ws.run_mask.clear();
+    ws.run_row.push(0);
+    for v in 0..n {
+        for run in pull.runs(v as VertexId) {
+            let mut m = 0u64;
+            for (k, r) in ranges.iter().enumerate() {
+                if run.active_in(*r) {
+                    m |= 1 << k;
+                }
+            }
+            if m != 0 {
+                ws.run_nbr.push(run.neighbor);
+                ws.run_mask.push(m);
+            }
+        }
+        ws.run_row.push(ws.run_nbr.len());
+    }
+}
+
+/// Per-lane version of [`crate::pagerank::initialize`] over the interleaved
+/// layout.
+fn initialize_lane(
+    init: Init<'_>,
+    k: usize,
+    vl: usize,
+    active_mask: &[u64],
+    n_act: usize,
+    x: &mut [f64],
+) {
+    let n = active_mask.len();
+    let bit = 1u64 << k;
+    if n_act == 0 {
+        for v in 0..n {
+            x[v * vl + k] = 0.0;
+        }
+        return;
+    }
+    let n_act_f = n_act as f64;
+    match init {
+        Init::Uniform => {
+            for v in 0..n {
+                x[v * vl + k] = if active_mask[v] & bit != 0 {
+                    1.0 / n_act_f
+                } else {
+                    0.0
+                };
+            }
+        }
+        Init::Provided(p) => {
+            assert_eq!(p.len(), n);
+            let mut sum = 0.0;
+            for v in 0..n {
+                if active_mask[v] & bit != 0 && p[v] > 0.0 {
+                    sum += p[v];
+                }
+            }
+            if sum <= 0.0 {
+                initialize_lane(Init::Uniform, k, vl, active_mask, n_act, x);
+                return;
+            }
+            for v in 0..n {
+                x[v * vl + k] = if active_mask[v] & bit != 0 && p[v] > 0.0 {
+                    p[v] / sum
+                } else {
+                    0.0
+                };
+            }
+        }
+        Init::Partial(prev) => {
+            assert_eq!(prev.len(), n);
+            let mut shared = 0usize;
+            let mut shared_sum = 0.0;
+            for v in 0..n {
+                if active_mask[v] & bit != 0 && prev[v] > 0.0 {
+                    shared += 1;
+                    shared_sum += prev[v];
+                }
+            }
+            if shared == 0 || shared_sum <= 0.0 {
+                initialize_lane(Init::Uniform, k, vl, active_mask, n_act, x);
+                return;
+            }
+            let factor = (shared as f64 / n_act_f) / shared_sum;
+            for v in 0..n {
+                x[v * vl + k] = if active_mask[v] & bit == 0 {
+                    0.0
+                } else if prev[v] > 0.0 {
+                    prev[v] * factor
+                } else {
+                    1.0 / n_act_f
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::{pagerank_window_vec, PrConfig};
+    use crate::scheduler::{Partitioner, Scheduler};
+    use tempopr_graph::Event;
+
+    fn cfg() -> PrConfig {
+        PrConfig {
+            alpha: 0.15,
+            tol: 1e-12,
+            max_iters: 500,
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        let mut events = Vec::new();
+        for i in 0..120u32 {
+            let u = (i * 13 + 2) % 25;
+            let v = (i * 7 + 5) % 25;
+            if u != v {
+                events.push(Event::new(u, v, (i * 3) as i64));
+            }
+        }
+        events
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_window_spmv() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges: Vec<TimeRange> = (0..8)
+            .map(|k| TimeRange::new(k * 40, k * 40 + 120))
+            .collect();
+        let inits = vec![Init::Uniform; 8];
+        let mut ws = SpmmWorkspace::default();
+        let stats = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws);
+        for (k, r) in ranges.iter().enumerate() {
+            let (expect, es) = pagerank_window_vec(&t, &t, *r, Init::Uniform, &cfg(), None);
+            let got = ws.lane(k, 8);
+            assert_close(&got, &expect, 1e-9);
+            assert_eq!(stats[k].active_vertices, es.active_vertices, "lane {k}");
+        }
+    }
+
+    #[test]
+    fn batch_parallel_matches_sequential() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges: Vec<TimeRange> = (0..16)
+            .map(|k| TimeRange::new(k * 20, k * 20 + 90))
+            .collect();
+        let inits = vec![Init::Uniform; 16];
+        let mut seq = SpmmWorkspace::default();
+        pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut seq);
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 4);
+            let mut par = SpmmWorkspace::default();
+            pagerank_batch(&t, &t, &ranges, &inits, &cfg(), Some(&s), &mut par);
+            for k in 0..16 {
+                assert_close(&seq.lane(k, 16), &par.lane(k, 16), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_directed_matches_spmv() {
+        let events = sample_events();
+        let out = TemporalCsr::from_events(25, &events, false);
+        let pull = out.transpose();
+        let ranges = vec![TimeRange::new(0, 150), TimeRange::new(100, 300)];
+        let inits = vec![Init::Uniform; 2];
+        let mut ws = SpmmWorkspace::default();
+        pagerank_batch(&pull, &out, &ranges, &inits, &cfg(), None, &mut ws);
+        for (k, r) in ranges.iter().enumerate() {
+            let (expect, _) = pagerank_window_vec(&pull, &out, *r, Init::Uniform, &cfg(), None);
+            assert_close(&ws.lane(k, 2), &expect, 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_lane_is_all_zero_and_converged() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges = vec![TimeRange::new(0, 100), TimeRange::new(5000, 6000)];
+        let inits = vec![Init::Uniform; 2];
+        let mut ws = SpmmWorkspace::default();
+        let stats = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws);
+        assert_eq!(stats[1].active_vertices, 0);
+        assert!(stats[1].converged);
+        assert!(ws.lane(1, 2).iter().all(|&x| x == 0.0));
+        // Lane 0 unaffected by the dead lane.
+        let (expect, _) = pagerank_window_vec(&t, &t, ranges[0], Init::Uniform, &cfg(), None);
+        assert_close(&ws.lane(0, 2), &expect, 1e-9);
+    }
+
+    #[test]
+    fn partial_init_lane_matches_spmv_partial() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let r0 = TimeRange::new(0, 150);
+        let r1 = TimeRange::new(50, 200);
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &cfg(), None);
+        let ranges = vec![r1];
+        let inits = vec![Init::Partial(&prev)];
+        let mut ws = SpmmWorkspace::default();
+        pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws);
+        let (expect, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None);
+        assert_close(&ws.lane(0, 1), &expect, 1e-9);
+    }
+
+    #[test]
+    fn per_lane_iteration_counts_are_tracked() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        // One trivial lane (tiny graph converges fast) and one full lane.
+        let ranges = vec![TimeRange::new(0, 3), TimeRange::new(0, 360)];
+        let inits = vec![Init::Uniform; 2];
+        let mut ws = SpmmWorkspace::default();
+        let stats = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws);
+        assert!(stats[0].converged && stats[1].converged);
+        assert!(stats[0].iterations <= stats[1].iterations);
+    }
+
+    #[test]
+    fn lanes_sum_to_one_each() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges: Vec<TimeRange> = (0..4)
+            .map(|k| TimeRange::new(k * 50, k * 50 + 150))
+            .collect();
+        let inits = vec![Init::Uniform; 4];
+        let mut ws = SpmmWorkspace::default();
+        pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws);
+        for k in 0..4 {
+            let s: f64 = ws.lane(k, 4).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "lane {k} sums to {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 lanes")]
+    fn too_many_lanes_rejected() {
+        let t = TemporalCsr::from_events(2, &[Event::new(0, 1, 0)], true);
+        let ranges = vec![TimeRange::new(0, 1); 65];
+        let inits = vec![Init::Uniform; 65];
+        let mut ws = SpmmWorkspace::default();
+        pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws);
+    }
+
+    #[test]
+    fn max_lanes_64_supported() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges: Vec<TimeRange> = (0..64).map(|k| TimeRange::new(k * 5, k * 5 + 60)).collect();
+        let inits = vec![Init::Uniform; 64];
+        let mut ws = SpmmWorkspace::default();
+        let stats = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws);
+        assert_eq!(stats.len(), 64);
+        let (expect, _) = pagerank_window_vec(&t, &t, ranges[63], Init::Uniform, &cfg(), None);
+        assert_close(&ws.lane(63, 64), &expect, 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Academic collaboration analysis (paper §3.1).
+//!
+//! Events are co-authorships: if authors `a1` and `a2` co-wrote a paper on
+//! day `d`, the tuple `(a1, a2, d)` joins the event set. The window width
+//! `δ` sets the *social time scale* of the question — a 10-year window
+//! asks "who matters in this scientific era", a 1-year window asks "who is
+//! central in the current collaboration dynamic" — while the sliding
+//! offset `sw` is a resolution parameter. This example runs both scales on
+//! the same event set and shows they answer different questions.
+//!
+//! ```sh
+//! cargo run --release --example collaboration_network
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempopr::prelude::*;
+
+const YEAR: i64 = 365 * DAY;
+
+/// Synthesizes 30 years of co-authorship events with a generational shift:
+/// authors 0-9 dominate the first half, authors 10-19 the second, with a
+/// stable "bridge" author 20 collaborating throughout.
+fn collaboration_events() -> EventLog {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut events = Vec::new();
+    let span = 30 * YEAR;
+    for _ in 0..20_000 {
+        let t = rng.gen_range(0..span);
+        let frac = t as f64 / span as f64;
+        let (u, v) = if rng.gen_bool(0.15) {
+            // The bridge author collaborates across generations.
+            (20u32, rng.gen_range(0..20u32))
+        } else if frac < 0.5 {
+            (rng.gen_range(0..10u32), rng.gen_range(0..10u32))
+        } else {
+            (rng.gen_range(10..20u32), rng.gen_range(10..20u32))
+        };
+        if u != v {
+            events.push(Event::new(u, v, t));
+        }
+    }
+    EventLog::from_unsorted(events, 21).expect("valid log")
+}
+
+fn top_k(ranks: &SparseRanks, k: usize) -> Vec<(u32, f64)> {
+    let mut pairs: Vec<(u32, f64)> = ranks
+        .vertices
+        .iter()
+        .copied()
+        .zip(ranks.values.iter().copied())
+        .collect();
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
+    pairs.truncate(k);
+    pairs
+}
+
+fn run_scale(log: &EventLog, delta: i64, sw: i64, label: &str) {
+    let spec = WindowSpec::covering(log, delta, sw).expect("valid spec");
+    let engine = PostmortemEngine::new(log, spec, PostmortemConfig::default()).expect("engine");
+    let out = engine.run();
+    println!("\n== {label}: {} windows ==", spec.count);
+    println!("{:<8} {:<14} top-3 authors (rank)", "window", "start_year");
+    for w in out.windows.iter() {
+        let range = spec.window(w.window);
+        let year = range.start / YEAR;
+        let ranks = w.ranks.as_ref().unwrap();
+        let tops: Vec<String> = top_k(ranks, 3)
+            .into_iter()
+            .map(|(v, r)| format!("a{v}({r:.3})"))
+            .collect();
+        println!(
+            "{:<8} {:<14} {}",
+            w.window,
+            format!("year {year}"),
+            tops.join("  ")
+        );
+    }
+}
+
+fn main() {
+    let log = collaboration_events();
+    println!(
+        "co-authorship events: {} over {} years, {} authors",
+        log.len(),
+        (log.last_time() - log.first_time()) / YEAR,
+        log.num_vertices()
+    );
+
+    // Era scale: δ = 10 years, slid by 5 — "who defines a scientific era?"
+    run_scale(&log, 10 * YEAR, 5 * YEAR, "era scale (δ = 10y, sw = 5y)");
+
+    // Dynamics scale: δ = 1 year, slid by 1 — "who is central right now?"
+    // Expect the generational shift to appear around year 15, with the
+    // bridge author persistently well-ranked.
+    run_scale(&log, YEAR, YEAR, "dynamics scale (δ = 1y, sw = 1y)");
+
+    println!(
+        "\nNote how the era scale smooths the generational handover the \
+         dynamics scale resolves sharply — the δ/sw choice is an analysis \
+         question, not a tuning knob (paper §3.1)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Quickstart: postmortem PageRank on a small synthetic temporal graph.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tempopr::prelude::*;
+
+fn main() {
+    // 1. A temporal graph is a set of (u, v, t) relational events. Here:
+    //    a synthetic stand-in for the wiki-talk dataset at a tiny scale.
+    let log = Dataset::WikiTalk.spec().generate(0.001, 42);
+    println!(
+        "events: {}, vertices: {}, time span: {} days",
+        log.len(),
+        log.num_vertices(),
+        (log.last_time() - log.first_time()) / DAY
+    );
+
+    // 2. Choose the sliding-window analysis: 90-day windows sliding by 30
+    //    days. Every window is one graph in the sequence G0, G1, ...
+    let spec = WindowSpec::covering(&log, 90 * DAY, 30 * DAY).expect("valid window parameters");
+    println!("windows: {} (width 90d, offset 30d)", spec.count);
+
+    // 3. Run the postmortem engine with default settings (SpMM kernel,
+    //    nested parallelism, partial initialization, 6 multi-window
+    //    graphs).
+    let engine = PostmortemEngine::new(&log, spec, PostmortemConfig::default())
+        .expect("engine construction");
+    let out = engine.run();
+
+    // 4. Inspect the time series of rankings.
+    println!("\nwindow  active_vertices  iterations  top_vertex  top_rank");
+    for w in &out.windows {
+        let ranks = w.ranks.as_ref().expect("full retention by default");
+        if let Some((v, r)) = ranks.top() {
+            println!(
+                "{:>6}  {:>15}  {:>10}  {:>10}  {:>8.5}",
+                w.window, w.stats.active_vertices, w.stats.iterations, v, r
+            );
+        } else {
+            println!("{:>6}  (empty window)", w.window);
+        }
+    }
+
+    // 5. Ask for the paper's suggested configuration for this workload
+    //    (§6.3.6) — useful when you don't want to tune.
+    let suggested = suggest(&log, &spec, 0);
+    println!(
+        "\nsuggested config: mode={:?}, kernel={:?}, multiwindows={}",
+        suggested.mode, suggested.kernel, suggested.num_multiwindows
+    );
+}

@@ -1,0 +1,99 @@
+//! Rank evolution — the paper's motivating question ("understanding the
+//! nature of changes in the graph over time", §1) answered with the
+//! downstream tooling: per-window PageRank → top-k churn, Spearman
+//! correlation, rank trajectories, and a personalized view relative to a
+//! seed actor.
+//!
+//! ```sh
+//! cargo run --release --example rank_evolution
+//! ```
+
+use tempopr::analytics::evolution::{churn_series, top_k, trajectory};
+use tempopr::graph::TemporalCsr;
+use tempopr::kernel::{pagerank_window_personalized, PrWorkspace};
+use tempopr::prelude::*;
+
+fn main() {
+    // A growth-shaped temporal graph: rankings drift as the graph expands.
+    let log = Dataset::AskUbuntu.spec().generate(0.004, 21);
+    let spec = WindowSpec::covering(&log, 365 * DAY, 120 * DAY).expect("valid spec");
+    println!(
+        "{} events, {} vertices, {} windows (delta=365d, sw=120d)\n",
+        log.len(),
+        log.num_vertices(),
+        spec.count
+    );
+
+    let engine = PostmortemEngine::new(&log, spec, PostmortemConfig::default()).expect("engine");
+    let out = engine.run();
+
+    // Collect sparse rankings in window order.
+    let rankings: Vec<(Vec<u32>, Vec<f64>)> = out
+        .windows
+        .iter()
+        .map(|w| {
+            let r = w.ranks.as_ref().unwrap();
+            (r.vertices.clone(), r.values.clone())
+        })
+        .collect();
+
+    // 1. Churn of the top-10 across consecutive windows.
+    println!(
+        "{:<8} {:>14} {:>10}  movement in the top-10",
+        "window", "top10_jaccard", "spearman"
+    );
+    for step in churn_series(&rankings, 10) {
+        let sp = step
+            .spearman
+            .map_or("n/a".to_string(), |s| format!("{s:.3}"));
+        let movement = if step.entered.is_empty() {
+            "stable".to_string()
+        } else {
+            format!("in: {:?}  out: {:?}", step.entered, step.left)
+        };
+        println!(
+            "{:<8} {:>14.2} {:>10}  {}",
+            step.window, step.topk_jaccard, sp, movement
+        );
+    }
+
+    // 2. Trajectory of the overall winner.
+    let (winner, _) = rankings
+        .iter()
+        .flat_map(|(vs, xs)| top_k(vs, xs, 1))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    let traj = trajectory(&rankings, winner);
+    println!("\nrank trajectory of vertex {winner}:");
+    for (w, x) in traj.iter().enumerate() {
+        let bar = "#".repeat((x * 400.0) as usize);
+        println!("  window {w:>3}  {x:.4}  {bar}");
+    }
+
+    // 3. Personalized view: importance relative to the winner as seed.
+    let tcsr = TemporalCsr::from_log(&log, true);
+    let last = spec.window(spec.count - 1);
+    let mut pref = vec![0.0; log.num_vertices()];
+    pref[winner as usize] = 1.0;
+    let mut ws = PrWorkspace::default();
+    pagerank_window_personalized(
+        &tcsr,
+        &tcsr,
+        last,
+        &pref,
+        &PrConfig::default(),
+        None,
+        &mut ws,
+    );
+    let mut pairs: Vec<(usize, f64)> =
+        ws.x.iter()
+            .copied()
+            .enumerate()
+            .filter(|&(v, x)| x > 0.0 && v != winner as usize)
+            .collect();
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nmost related to vertex {winner} in the final window (personalized PageRank):");
+    for (v, x) in pairs.into_iter().take(5) {
+        println!("  vertex {v:>6}  {x:.4}");
+    }
+}

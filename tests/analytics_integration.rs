@@ -1,0 +1,129 @@
+//! Cross-crate checks between the PageRank engine and the structure
+//! analytics: both observe the same windows of the same representation, so
+//! their per-window vertex/edge accounting must agree, and centrality
+//! rankings must correlate sanely on hub-dominated graphs.
+
+use tempopr::analytics::{
+    betweenness_window, closeness_window, components_window, kcore_window, temporal_structure,
+    StructureConfig,
+};
+use tempopr::graph::TemporalCsr;
+use tempopr::prelude::*;
+
+#[test]
+fn pagerank_and_structure_agree_on_active_sets() {
+    let log = Dataset::WikiTalk.spec().generate(0.001, 3);
+    let span = log.last_time() - log.first_time();
+    let spec = WindowSpec::covering(&log, span / 5, span / 15).unwrap();
+    let pr = PostmortemEngine::new(&log, spec, PostmortemConfig::default())
+        .unwrap()
+        .run();
+    let st = temporal_structure(&log, spec, &StructureConfig::default()).unwrap();
+    for (p, s) in pr.windows.iter().zip(st.iter()) {
+        assert_eq!(
+            p.stats.active_vertices, s.active_vertices,
+            "window {}",
+            p.window
+        );
+        // Every ranked vertex is in some component, and vice versa.
+        assert_eq!(p.ranks.as_ref().unwrap().len(), s.active_vertices);
+    }
+}
+
+#[test]
+fn hub_dominates_every_centrality() {
+    // A clear hub: vertex 0 connects to everyone; everyone else is sparse.
+    let mut events = Vec::new();
+    for i in 1..40u32 {
+        events.push(Event::new(0, i, i as i64));
+    }
+    for i in 0..30u32 {
+        events.push(Event::new(
+            1 + (i * 7) % 39,
+            1 + (i * 11) % 39,
+            (40 + i) as i64,
+        ));
+    }
+    let log = EventLog::from_unsorted(events, 40).unwrap();
+    let t = TemporalCsr::from_log(&log, true);
+    let range = TimeRange::new(0, 100);
+
+    // PageRank.
+    let (pr, _) = tempopr::kernel::pagerank_window_vec(
+        &t,
+        &t,
+        range,
+        Init::Uniform,
+        &PrConfig::default(),
+        None,
+    );
+    let top_pr = pr
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    assert_eq!(top_pr, 0);
+
+    // Closeness.
+    let c = closeness_window(&t, range, 0);
+    let top_c = c
+        .harmonic
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    assert_eq!(top_c, 0);
+
+    // Betweenness.
+    let b = betweenness_window(&t, range);
+    let top_b = b
+        .score
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    assert_eq!(top_b, 0);
+
+    // The hub's graph is connected.
+    let comp = components_window(&t, range);
+    assert_eq!(comp.count, 1);
+
+    // Core numbers: the hub's core equals the periphery's max core (a
+    // star's core is 1; the extra edges raise it, but never above the hub).
+    let k = kcore_window(&t, range);
+    assert!(k.core[0] >= 1);
+    assert_eq!(
+        k.core[0],
+        k.core.iter().copied().max().unwrap(),
+        "hub is in the innermost core"
+    );
+}
+
+#[test]
+fn structure_metrics_track_window_motion() {
+    // As the window slides across a growing graph, edges and triangles
+    // must never be negative and must match a direct recount.
+    let log = Dataset::StackOverflow.spec().generate(0.0003, 8);
+    let span = log.last_time() - log.first_time();
+    let spec = WindowSpec::covering(&log, span / 6, span / 12).unwrap();
+    let st = temporal_structure(&log, spec, &StructureConfig::default()).unwrap();
+    let t = TemporalCsr::from_log(&log, true);
+    for s in &st {
+        let range = spec.window(s.window);
+        assert_eq!(
+            s.edges,
+            t.active_edge_count(range) / 2,
+            "window {}",
+            s.window
+        );
+        assert_eq!(
+            s.active_vertices,
+            t.active_vertex_count(range),
+            "window {}",
+            s.window
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the analytics kernels against brute force, for
+//! arbitrary temporal graphs and windows.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use tempopr::analytics::{
+    betweenness_window, closeness_window, components_window, connected, degree_stats, katz_window,
+    kcore_window, triangles_window, KatzConfig,
+};
+use tempopr::graph::{Event, TemporalCsr, TimeRange};
+
+const MAX_V: u32 = 14;
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0..MAX_V, 0..MAX_V, 0i64..200).prop_map(|(u, v, t)| Event::new(u, v, t)),
+        1..100,
+    )
+}
+
+/// Window adjacency as a symmetric boolean matrix (self-loops excluded —
+/// they never affect connectivity, cores, paths, or triangles).
+fn window_adj(events: &[Event], range: TimeRange) -> Vec<Vec<bool>> {
+    let n = MAX_V as usize;
+    let mut adj = vec![vec![false; n]; n];
+    for e in events {
+        if range.contains(e.t) && e.u != e.v {
+            adj[e.u as usize][e.v as usize] = true;
+            adj[e.v as usize][e.u as usize] = true;
+        }
+    }
+    adj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn components_match_bfs(events in arb_events(), start in 0i64..200, width in 1i64..150) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let c = components_window(&t, range);
+        let adj = window_adj(&events, range);
+        // Self-loop-only vertices are active in the TCSR but isolated in
+        // `adj`; fold them in as single-vertex components.
+        let n = MAX_V as usize;
+        let mut self_loop_only = vec![false; n];
+        for e in &events {
+            if range.contains(e.t) && e.u == e.v {
+                self_loop_only[e.u as usize] = true;
+            }
+        }
+        let mut seen = vec![u32::MAX; n];
+        let mut count = 0;
+        let mut largest = 0;
+        for s in 0..n {
+            let isolated_active = self_loop_only[s] && !adj[s].iter().any(|&b| b);
+            if seen[s] != u32::MAX || (!adj[s].iter().any(|&b| b) && !isolated_active) {
+                continue;
+            }
+            count += 1;
+            let mut size = 0;
+            let mut q = VecDeque::from([s]);
+            seen[s] = s as u32;
+            while let Some(v) = q.pop_front() {
+                size += 1;
+                for u in 0..n {
+                    if adj[v][u] && seen[u] == u32::MAX {
+                        seen[u] = s as u32;
+                        q.push_back(u);
+                    }
+                }
+            }
+            largest = largest.max(size);
+        }
+        prop_assert_eq!(c.count, count);
+        prop_assert_eq!(c.largest, largest);
+        for a in 0..MAX_V {
+            for b in 0..MAX_V {
+                let expect = seen[a as usize] != u32::MAX
+                    && seen[a as usize] == seen[b as usize];
+                prop_assert_eq!(connected(&c, a, b), expect, "pair ({}, {})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn kcore_is_valid_decomposition(events in arb_events(), start in 0i64..200, width in 1i64..150) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let k = kcore_window(&t, range);
+        let adj = window_adj(&events, range);
+        let n = MAX_V as usize;
+        // Validity: within the subgraph of vertices with core >= c, every
+        // vertex has degree >= c (taking c = each vertex's own core).
+        for (v, &c) in k.core.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let deg_in_core = (0..n)
+                .filter(|&u| adj[v][u] && k.core[u] >= c)
+                .count();
+            prop_assert!(
+                deg_in_core as u32 >= c,
+                "vertex {} core {} but only {} same-or-higher-core neighbors",
+                v, c, deg_in_core
+            );
+        }
+        // Maximality: no vertex could be in a deeper core — check the
+        // (core+1)-core peel excludes it. (Weaker check: core <= degree.)
+        let mut deg = vec![0u32; n];
+        t.active_degrees(range, &mut deg);
+        for (v, (&c, &d)) in k.core.iter().zip(deg.iter()).enumerate() {
+            prop_assert!(c <= d, "core exceeds degree at {}", v);
+        }
+        prop_assert_eq!(k.degeneracy, k.core.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn triangles_match_bruteforce(events in arb_events(), start in 0i64..200, width in 1i64..150) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let adj = window_adj(&events, range);
+        let n = MAX_V as usize;
+        let mut expect = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    if adj[a][b] && adj[b][c] && adj[a][c] {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(triangles_window(&t, range), expect);
+    }
+
+    #[test]
+    fn degree_stats_consistent(events in arb_events(), start in 0i64..200, width in 1i64..150) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let s = degree_stats(&t, range);
+        prop_assert_eq!(s.histogram.iter().skip(1).sum::<usize>(), s.active_vertices);
+        let weighted: usize = s
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d * c)
+            .sum();
+        prop_assert_eq!(weighted, s.directed_edges);
+        if s.active_vertices > 0 {
+            let ccdf = s.ccdf();
+            prop_assert!((ccdf[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn closeness_symmetry_within_components(events in arb_events(), start in 0i64..200, width in 1i64..150) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let c = closeness_window(&t, range, 0);
+        // Harmonic closeness of an active vertex is positive iff it has a
+        // neighbor other than itself.
+        let adj = window_adj(&events, range);
+        for (v, row) in adj.iter().enumerate() {
+            if row.iter().any(|&b| b) {
+                prop_assert!(c.harmonic[v] > 0.0, "vertex {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn betweenness_nonnegative_and_zero_on_leaves(events in arb_events(), start in 0i64..200, width in 1i64..150) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let b = betweenness_window(&t, range);
+        let adj = window_adj(&events, range);
+        for (v, row) in adj.iter().enumerate() {
+            prop_assert!(b.score[v] >= -1e-12, "vertex {}", v);
+            if row.iter().filter(|&&x| x).count() <= 1 {
+                prop_assert!(b.score[v].abs() < 1e-12, "leaf {} brokers nothing", v);
+            }
+        }
+    }
+
+    #[test]
+    fn katz_bounds_hold(events in arb_events(), start in 0i64..200, width in 1i64..150) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let k = katz_window(&t, range, &KatzConfig::default());
+        prop_assert!(k.converged);
+        let mut deg = vec![0u32; MAX_V as usize];
+        t.active_degrees(range, &mut deg);
+        for v in 0..MAX_V as usize {
+            if deg[v] > 0 {
+                prop_assert!(k.score[v] >= 1.0 - 1e-9, "active vertex {}", v);
+                // Geometric bound: score <= 1/(1 - alpha*max_deg).
+                let max_deg = deg.iter().copied().max().unwrap() as f64;
+                let bound = 1.0 / (1.0 - k.alpha * max_deg);
+                prop_assert!(k.score[v] <= bound + 1e-6, "vertex {}: {} > {}", v, k.score[v], bound);
+            } else {
+                prop_assert_eq!(k.score[v], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the dataset generators and event-file I/O: for
+//! arbitrary scales and seeds every preset yields a valid, deterministic
+//! log that round-trips through both file formats.
+
+use proptest::prelude::*;
+use tempopr::datagen::Dataset;
+use tempopr::graph::io;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::sample::select(Dataset::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn presets_generate_valid_logs(d in arb_dataset(), seed in 0u64..1000) {
+        let spec = d.spec();
+        let log = spec.generate(0.0002, seed);
+        prop_assert!(log.len() >= 1000);
+        prop_assert!(log.num_vertices() >= 200);
+        // Sorted, in-span, in-range.
+        let mut prev = i64::MIN;
+        for e in log.events() {
+            prop_assert!(e.t >= prev);
+            prev = e.t;
+            prop_assert!(e.t >= 0 && e.t <= spec.span_seconds());
+            prop_assert!((e.u as usize) < log.num_vertices());
+            prop_assert!((e.v as usize) < log.num_vertices());
+            prop_assert_ne!(e.u, e.v, "generators never emit self-loops");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(d in arb_dataset(), seed in 0u64..1000) {
+        let spec = d.spec();
+        prop_assert_eq!(spec.generate(0.0001, seed), spec.generate(0.0001, seed));
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_generated_logs(d in arb_dataset(), seed in 0u64..100) {
+        let log = d.spec().generate(0.0001, seed);
+        let mut buf = Vec::new();
+        io::write_binary(&log, &mut buf).unwrap();
+        let back = io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back, log);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_events(d in arb_dataset(), seed in 0u64..100) {
+        let log = d.spec().generate(0.0001, seed);
+        let mut buf = Vec::new();
+        io::write_text(&log, &mut buf).unwrap();
+        let back = io::read_text(&buf[..]).unwrap();
+        // Text format infers the vertex count, so only compare events.
+        prop_assert_eq!(back.events(), log.events());
+        prop_assert!(back.num_vertices() <= log.num_vertices());
+    }
+
+    #[test]
+    fn scaled_sizes_are_monotone(d in arb_dataset()) {
+        let spec = d.spec();
+        let mut prev_e = 0;
+        let mut prev_v = 0;
+        for scale in [0.0001, 0.001, 0.01, 0.1, 1.0] {
+            let e = spec.scaled_events(scale);
+            let v = spec.scaled_vertices(scale);
+            prop_assert!(e >= prev_e);
+            prop_assert!(v >= prev_v);
+            prev_e = e;
+            prev_v = v;
+        }
+        prop_assert_eq!(spec.scaled_events(1.0), spec.full_events);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the graph layer: the temporal CSR and the
+//! multi-window partition must present exactly the same per-window edges as
+//! a brute-force filter of the event list, for arbitrary events and window
+//! parameters.
+
+use proptest::prelude::*;
+use tempopr::graph::{Event, EventLog, MultiWindowSet, PartitionStrategy, TemporalCsr, WindowSpec};
+
+const MAX_V: u32 = 24;
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0..MAX_V, 0..MAX_V, 0i64..500).prop_map(|(u, v, t)| Event::new(u, v, t)),
+        1..200,
+    )
+}
+
+/// Brute-force symmetric directed edge set of a window.
+fn brute_edges(events: &[Event], start: i64, end: i64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for e in events {
+        if e.t >= start && e.t <= end {
+            out.push((e.u, e.v));
+            if e.u != e.v {
+                out.push((e.v, e.u));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tcsr_window_edges_match_bruteforce(events in arb_events(), start in 0i64..500, width in 1i64..300) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = tempopr::graph::TimeRange::new(start, start + width);
+        let mut got = Vec::new();
+        for v in 0..MAX_V {
+            for n in t.active_neighbors(v, range) {
+                got.push((v, n));
+            }
+        }
+        got.sort_unstable();
+        let expect = brute_edges(&events, range.start, range.end);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tcsr_degrees_and_counts_consistent(events in arb_events(), start in 0i64..500, width in 1i64..300) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = tempopr::graph::TimeRange::new(start, start + width);
+        let mut deg = vec![0u32; MAX_V as usize];
+        t.active_degrees(range, &mut deg);
+        let total: usize = deg.iter().map(|&d| d as usize).sum();
+        prop_assert_eq!(total, t.active_edge_count(range));
+        let active = deg.iter().filter(|&&d| d > 0).count();
+        prop_assert_eq!(active, t.active_vertex_count(range));
+        // Degrees match brute force.
+        let edges = brute_edges(&events, range.start, range.end);
+        for (v, &d) in deg.iter().enumerate() {
+            let expect = edges.iter().filter(|&&(u, _)| u == v as u32).count();
+            prop_assert_eq!(d as usize, expect, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn multiwindow_presents_same_edges_as_single_tcsr(
+        events in arb_events(),
+        delta in 5i64..200,
+        sw in 1i64..100,
+        parts in 1usize..8,
+        strategy_equal_events in any::<bool>(),
+    ) {
+        let n = MAX_V as usize;
+        let log = EventLog::from_unsorted(events.clone(), n).unwrap();
+        let spec = WindowSpec::covering(&log, delta, sw).unwrap();
+        let strategy = if strategy_equal_events {
+            PartitionStrategy::EqualEvents
+        } else {
+            PartitionStrategy::EqualWindows
+        };
+        let set = MultiWindowSet::build(&log, spec, parts, true, strategy).unwrap();
+        for w in 0..spec.count {
+            let range = spec.window(w);
+            let part = set.part_of(w);
+            let mut got = Vec::new();
+            for lv in 0..part.num_local_vertices() as u32 {
+                for ln in part.tcsr().active_neighbors(lv, range) {
+                    got.push((part.global_id(lv), part.global_id(ln)));
+                }
+            }
+            got.sort_unstable();
+            let expect = brute_edges(log.events(), range.start, range.end);
+            prop_assert_eq!(got, expect, "window {}", w);
+        }
+    }
+
+    #[test]
+    fn event_log_slices_match_filter(events in arb_events(), start in -50i64..550, width in 0i64..600) {
+        let log = EventLog::from_unsorted(events, MAX_V as usize).unwrap();
+        let got = log.slice_by_time(start, start + width);
+        let expect: Vec<Event> = log
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| e.t >= start && e.t <= start + width)
+            .collect();
+        prop_assert_eq!(got, &expect[..]);
+    }
+
+    #[test]
+    fn window_spec_covers_all_events(events in arb_events(), delta in 1i64..300, sw in 1i64..150) {
+        let log = EventLog::from_unsorted(events, MAX_V as usize).unwrap();
+        let spec = WindowSpec::covering(&log, delta, sw).unwrap();
+        // Every window starts within the data.
+        prop_assert!(spec.window(spec.count - 1).start <= log.last_time());
+        // A further window would start past the data.
+        let next_start = spec.t0 + spec.count as i64 * spec.sw;
+        prop_assert!(next_start > log.last_time());
+        // The first window starts exactly at the first event.
+        prop_assert_eq!(spec.window(0).start, log.first_time());
+    }
+
+    #[test]
+    fn transpose_is_involution_on_directed_tcsr(events in arb_events()) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, false);
+        let tt = t.transpose().transpose();
+        prop_assert_eq!(t, tt);
+    }
+}

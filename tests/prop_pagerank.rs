@@ -1,0 +1,161 @@
+//! Property-based tests of the PageRank kernels: for arbitrary temporal
+//! graphs and windows, every kernel agrees with the reference solver, rank
+//! vectors are distributions over the active set, and the SpMM batch
+//! equals per-window SpMV.
+
+use proptest::prelude::*;
+use tempopr::graph::{Event, TemporalCsr, TimeRange};
+use tempopr::kernel::{
+    pagerank_batch, pagerank_window_blocking, pagerank_window_vec, reference_pagerank,
+    BlockingWorkspace, Init, PrConfig, Scheduler, SpmmWorkspace,
+};
+
+const MAX_V: u32 = 20;
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0..MAX_V, 0..MAX_V, 0i64..300).prop_map(|(u, v, t)| Event::new(u, v, t)),
+        1..150,
+    )
+}
+
+fn tight() -> PrConfig {
+    PrConfig {
+        alpha: 0.15,
+        tol: 1e-12,
+        max_iters: 400,
+    }
+}
+
+fn window_edges(events: &[Event], range: TimeRange) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for e in events {
+        if range.contains(e.t) {
+            out.push((e.u, e.v));
+            if e.u != e.v {
+                out.push((e.v, e.u));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spmv_matches_reference(events in arb_events(), start in 0i64..300, width in 1i64..200) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let r = reference_pagerank(MAX_V as usize, &window_edges(&events, range), &tight());
+        for v in 0..MAX_V as usize {
+            prop_assert!((x[v] - r[v]).abs() < 1e-8, "vertex {}: {} vs {}", v, x[v], r[v]);
+        }
+        if stats.active_vertices > 0 {
+            let sum: f64 = x.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parallel_spmv_matches_sequential(events in arb_events(), g in 1usize..32) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(0, 300);
+        let (seq, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let sched = Scheduler::new(tempopr::kernel::Partitioner::Simple, g);
+        let (par, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), Some(&sched));
+        for v in 0..MAX_V as usize {
+            prop_assert!((seq[v] - par[v]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spmm_batch_equals_spmv_lanes(
+        events in arb_events(),
+        starts in prop::collection::vec(0i64..250, 1..9),
+        width in 5i64..150,
+    ) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let ranges: Vec<TimeRange> = starts.iter().map(|&s| TimeRange::new(s, s + width)).collect();
+        let inits = vec![Init::Uniform; ranges.len()];
+        let mut ws = SpmmWorkspace::default();
+        let stats = pagerank_batch(&t, &t, &ranges, &inits, &tight(), None, &mut ws);
+        for (k, &range) in ranges.iter().enumerate() {
+            let (expect, es) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+            let got = ws.lane(k, ranges.len());
+            for v in 0..MAX_V as usize {
+                prop_assert!((got[v] - expect[v]).abs() < 1e-8, "lane {} vertex {}", k, v);
+            }
+            prop_assert_eq!(stats[k].active_vertices, es.active_vertices);
+        }
+    }
+
+    #[test]
+    fn partial_init_converges_to_same_fixed_point(
+        events in arb_events(),
+        s0 in 0i64..150,
+        shift in 1i64..80,
+        width in 20i64..200,
+    ) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let r0 = TimeRange::new(s0, s0 + width);
+        let r1 = TimeRange::new(s0 + shift, s0 + shift + width);
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &tight(), None);
+        let (uniform, _) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &tight(), None);
+        let (partial, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &tight(), None);
+        for v in 0..MAX_V as usize {
+            prop_assert!((uniform[v] - partial[v]).abs() < 1e-7, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn ranks_are_nonnegative_and_zero_off_active_set(
+        events in arb_events(),
+        start in 0i64..300,
+        width in 1i64..100,
+    ) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let (x, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let mut deg = vec![0u32; MAX_V as usize];
+        t.active_degrees(range, &mut deg);
+        for v in 0..MAX_V as usize {
+            prop_assert!(x[v] >= 0.0);
+            if deg[v] == 0 {
+                prop_assert_eq!(x[v], 0.0, "inactive vertex {} has rank", v);
+            } else {
+                prop_assert!(x[v] > 0.0, "active vertex {} has zero rank", v);
+            }
+        }
+    }
+
+    #[test]
+    fn directed_kernel_matches_reference(events in arb_events(), start in 0i64..300, width in 1i64..200) {
+        let out = TemporalCsr::from_events(MAX_V as usize, &events, false);
+        let pull = out.transpose();
+        let range = TimeRange::new(start, start + width);
+        let (x, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &tight(), None);
+        let edges: Vec<(u32, u32)> = events
+            .iter()
+            .filter(|e| range.contains(e.t))
+            .map(|e| (e.u, e.v))
+            .collect();
+        let r = reference_pagerank(MAX_V as usize, &edges, &tight());
+        for v in 0..MAX_V as usize {
+            prop_assert!((x[v] - r[v]).abs() < 1e-8, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn propagation_blocking_matches_pull(events in arb_events(), start in 0i64..300, width in 1i64..200) {
+        let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
+        let range = TimeRange::new(start, start + width);
+        let (pull, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let mut ws = BlockingWorkspace::default();
+        pagerank_window_blocking(&t, &t, range, Init::Uniform, &tight(), &mut ws);
+        for (v, (a, b)) in pull.iter().zip(ws.pr.x.iter()).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "vertex {}", v);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the streaming substrate: the STINGER-like store
+//! must track a naive multiset model under arbitrary insert/delete
+//! interleavings, and a streamed sliding window must present exactly the
+//! same graph as a batch-built one.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tempopr::graph::{Event, EventLog, TemporalCsr, TimeRange, WindowSpec};
+use tempopr::stream::StreamingGraph;
+
+const MAX_V: u32 = 16;
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0..MAX_V, 0..MAX_V, 0i64..200).prop_map(|(u, v, t)| Event::new(u, v, t)),
+        1..120,
+    )
+}
+
+fn canon(u: u32, v: u32) -> (u32, u32) {
+    (u.min(v), u.max(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_tracks_multiset_model(ops in prop::collection::vec((0..MAX_V, 0..MAX_V, any::<bool>()), 1..300)) {
+        let mut g = StreamingGraph::new(MAX_V as usize);
+        let mut model: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for (i, &(u, v, del)) in ops.iter().enumerate() {
+            if del && !live.is_empty() {
+                let idx = (u as usize * 31 + v as usize * 7 + i) % live.len();
+                let (a, b) = live.swap_remove(idx);
+                g.delete_event(a, b);
+                let m = model.get_mut(&(a, b)).unwrap();
+                *m -= 1;
+                if *m == 0 {
+                    model.remove(&(a, b));
+                }
+            } else {
+                g.insert_event(u, v, i as i64);
+                *model.entry(canon(u, v)).or_insert(0) += 1;
+                live.push(canon(u, v));
+            }
+        }
+        g.check_invariants();
+        for u in 0..MAX_V {
+            for v in u..MAX_V {
+                let expect = model.get(&(u, v)).copied().unwrap_or(0);
+                prop_assert_eq!(g.multiplicity(u, v), expect, "pair ({}, {})", u, v);
+                if u != v {
+                    prop_assert_eq!(g.multiplicity(v, u), expect);
+                }
+            }
+        }
+        // Degrees equal distinct live neighbors.
+        for v in 0..MAX_V {
+            let distinct = model
+                .keys()
+                .filter(|&&(a, b)| a == v || b == v)
+                .count();
+            prop_assert_eq!(g.degree(v) as usize, distinct, "degree of {}", v);
+        }
+    }
+
+    #[test]
+    fn streamed_window_equals_batch_graph(
+        events in arb_events(),
+        delta in 5i64..120,
+        sw in 1i64..60,
+    ) {
+        let log = EventLog::from_unsorted(events, MAX_V as usize).unwrap();
+        let spec = WindowSpec::covering(&log, delta, sw).unwrap();
+        // Stream the windows.
+        let mut g = StreamingGraph::new(MAX_V as usize);
+        for w in 0..spec.count {
+            let range = spec.window(w);
+            let ins_lo = if w == 0 {
+                range.start
+            } else {
+                (spec.window(w - 1).end + 1).max(range.start)
+            };
+            for e in log.slice_by_time(ins_lo, range.end) {
+                g.insert_event(e.u, e.v, e.t);
+            }
+            if w > 0 {
+                let prev = spec.window(w - 1);
+                let del_hi = (range.start - 1).min(prev.end);
+                for e in log.slice_by_time(prev.start, del_hi) {
+                    g.delete_event(e.u, e.v);
+                }
+            }
+            g.check_invariants();
+            // The streamed graph must equal the batch-built window graph.
+            let t = TemporalCsr::from_events(MAX_V as usize, log.events(), true);
+            let win = TimeRange::new(range.start, range.end);
+            for v in 0..MAX_V {
+                let mut stream_nbrs: Vec<u32> = g.neighbors(v).map(|e| e.0).collect();
+                stream_nbrs.sort_unstable();
+                let mut batch_nbrs: Vec<u32> = t.active_neighbors(v, win).collect();
+                batch_nbrs.sort_unstable();
+                prop_assert_eq!(stream_nbrs, batch_nbrs, "window {} vertex {}", w, v);
+            }
+        }
+    }
+
+    #[test]
+    fn full_drain_empties_store(events in arb_events()) {
+        let mut g = StreamingGraph::new(MAX_V as usize);
+        for e in &events {
+            g.insert_event(e.u, e.v, e.t);
+        }
+        for e in &events {
+            g.delete_event(e.u, e.v);
+        }
+        g.check_invariants();
+        prop_assert_eq!(g.num_edges(), 0);
+        for v in 0..MAX_V {
+            prop_assert_eq!(g.degree(v), 0);
+            prop_assert_eq!(g.neighbors(v).count(), 0);
+        }
+    }
+}

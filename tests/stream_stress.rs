@@ -1,0 +1,112 @@
+//! Heavier randomized stress of the streaming store: long mixed
+//! insert/delete workloads with skewed (hub-heavy) endpoints, verified
+//! against a multiset model and the structural invariants after every
+//! phase. Complements the per-module unit tests and the bounded proptests
+//! with a deeper single run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tempopr::stream::StreamingGraph;
+
+fn canon(u: u32, v: u32) -> (u32, u32) {
+    (u.min(v), u.max(v))
+}
+
+#[test]
+fn long_skewed_insert_delete_stress() {
+    let n = 200u32;
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut g = StreamingGraph::new(n as usize);
+    let mut model: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut live: Vec<(u32, u32)> = Vec::new();
+
+    // Hub-heavy endpoint sampler: low ids are hot, mirroring the power-law
+    // degree structure the real workloads have.
+    let mut sample = move |rng: &mut StdRng| -> u32 {
+        let x: f64 = rng.gen::<f64>();
+        ((n as f64) * x * x * x) as u32
+    };
+
+    for phase in 0..4 {
+        // Insert-heavy phase.
+        for step in 0..10_000 {
+            let u = sample(&mut rng);
+            let v = sample(&mut rng);
+            g.insert_event(u, v, (phase * 10_000 + step) as i64);
+            *model.entry(canon(u, v)).or_insert(0) += 1;
+            live.push(canon(u, v));
+        }
+        g.check_invariants();
+        // Delete-heavy phase: remove ~80% of live events in random order.
+        let deletions = live.len() * 4 / 5;
+        for _ in 0..deletions {
+            let i = rng.gen_range(0..live.len());
+            let (a, b) = live.swap_remove(i);
+            g.delete_event(a, b);
+            let m = model.get_mut(&(a, b)).unwrap();
+            *m -= 1;
+            if *m == 0 {
+                model.remove(&(a, b));
+            }
+        }
+        g.check_invariants();
+    }
+
+    // Final exact comparison against the model.
+    let mut total_edges = 0usize;
+    for (&(u, v), &mult) in &model {
+        assert_eq!(g.multiplicity(u, v), mult, "pair ({u},{v})");
+        total_edges += if u == v { 1 } else { 2 };
+    }
+    assert_eq!(g.num_edges(), total_edges);
+    // Degrees match distinct live neighbors.
+    for v in 0..n {
+        let distinct = model.keys().filter(|&&(a, b)| a == v || b == v).count();
+        assert_eq!(g.degree(v) as usize, distinct, "degree of {v}");
+    }
+    // Drain completely; arena must be fully recyclable.
+    for ((u, v), mult) in model.drain() {
+        for _ in 0..mult {
+            g.delete_event(u, v);
+        }
+    }
+    g.check_invariants();
+    assert_eq!(g.num_edges(), 0);
+    let blocks_before = g.allocated_blocks();
+    // Reinsert a burst; no new arena growth beyond what existed.
+    for i in 0..1_000u32 {
+        g.insert_event(i % n, (i * 7 + 1) % n, i as i64);
+    }
+    g.check_invariants();
+    assert!(
+        g.allocated_blocks() <= blocks_before.max(1_000),
+        "arena should reuse freed blocks"
+    );
+}
+
+#[test]
+fn block_chain_growth_and_shrink_cycles() {
+    // One vertex's chain repeatedly grown to hundreds of neighbors and
+    // shrunk to zero: exercises block unlink ordering at every position.
+    let mut g = StreamingGraph::new(600);
+    for cycle in 0..5 {
+        let count = 100 + cycle * 97;
+        for v in 1..=count {
+            g.insert_event(0, v as u32, v as i64);
+        }
+        g.check_invariants();
+        assert_eq!(g.degree(0), count as u32);
+        // Delete in an interleaved order to hit head/middle/tail blocks.
+        let mut order: Vec<u32> = (1..=count as u32).collect();
+        order.reverse();
+        let (evens, odds): (Vec<u32>, Vec<u32>) =
+            order.iter().copied().partition(|&v| v % 2 == 0);
+        for v in evens.into_iter().chain(odds) {
+            g.delete_event(0, v);
+        }
+        g.check_invariants();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.neighbors(0).count(), 0);
+    }
+}
