@@ -13,17 +13,23 @@ fn bench(c: &mut Criterion) {
     for mode in [ParallelMode::ApplicationLevel, ParallelMode::Nested] {
         let mut g = c.benchmark_group(format!("fig8_multiwindow/{mode:?}"));
         for mw in [1usize, 6, 16, 48, 96] {
-            g.bench_function(format!("mw{mw}"), |b| {
-                b.iter(|| {
-                    let cfg = PostmortemConfig {
-                        mode,
-                        kernel: tempopr_core::KernelKind::SpMV,
-                        num_multiwindows: mw,
-                        ..Default::default()
-                    };
-                    std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
-                })
-            });
+            // Indexed vs unindexed setup ablation: few wide parts amplify
+            // the per-window degree-pass cost the WindowIndex removes.
+            for use_window_index in [true, false] {
+                let suffix = if use_window_index { "" } else { "/noindex" };
+                g.bench_function(format!("mw{mw}{suffix}"), |b| {
+                    b.iter(|| {
+                        let cfg = PostmortemConfig {
+                            mode,
+                            kernel: tempopr_core::KernelKind::SpMV,
+                            num_multiwindows: mw,
+                            use_window_index,
+                            ..Default::default()
+                        };
+                        std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+                    })
+                });
+            }
         }
         g.finish();
     }

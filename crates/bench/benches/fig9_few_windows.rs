@@ -22,18 +22,22 @@ fn bench(c: &mut Criterion) {
                 KernelKind::SpMM { .. } => "spmm",
                 KernelKind::PushBlocking => "block",
             };
-            g.bench_function(format!("{mode:?}/{kname}"), |b| {
-                b.iter(|| {
-                    let cfg = PostmortemConfig {
-                        mode,
-                        kernel,
-                        scheduler: Scheduler::new(Partitioner::Auto, 1),
-                        num_multiwindows: 3,
-                        ..Default::default()
-                    };
-                    std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
-                })
-            });
+            for use_window_index in [true, false] {
+                let suffix = if use_window_index { "" } else { "/noindex" };
+                g.bench_function(format!("{mode:?}/{kname}{suffix}"), |b| {
+                    b.iter(|| {
+                        let cfg = PostmortemConfig {
+                            mode,
+                            kernel,
+                            scheduler: Scheduler::new(Partitioner::Auto, 1),
+                            num_multiwindows: 3,
+                            use_window_index,
+                            ..Default::default()
+                        };
+                        std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())
+                    })
+                });
+            }
         }
     }
     g.finish();

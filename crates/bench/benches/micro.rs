@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use tempopr_bench::{BENCH_SCALE, BENCH_SEED};
 use tempopr_datagen::Dataset;
-use tempopr_graph::{Csr, TemporalCsr, TimeRange};
+use tempopr_graph::{Csr, TemporalCsr, TimeRange, WindowIndex};
+use tempopr_kernel::{pagerank_window, pagerank_window_indexed, Init, PrConfig, PrWorkspace};
 use tempopr_stream::StreamingGraph;
 
 fn bench(c: &mut Criterion) {
@@ -29,6 +30,87 @@ fn bench(c: &mut Criterion) {
                 total += tcsr.active_degree(v, window);
             }
             std::hint::black_box(total)
+        })
+    });
+
+    // --- WindowIndex: setup cost vs part size ---------------------------
+    // A 16-window uniform grid over the log's span; the benched window is
+    // one of them. The unindexed per-window degree/activity phase scans
+    // every stored entry of the part, so it shrinks when the part does; the
+    // indexed setup copies the window's active list and is invariant to how
+    // many entries the part holds (the acceptance check for the index).
+    let sw = (span / 16).max(1);
+    let grid: Vec<TimeRange> = (0..16)
+        .map(|i| {
+            let s = log.first_time() + i * sw;
+            TimeRange::new(s, s + 2 * sw)
+        })
+        .collect();
+    let j = 6usize;
+    let bench_window = grid[j];
+    g.bench_function("window_index_build_16_windows", |b| {
+        b.iter(|| std::hint::black_box(WindowIndex::build(&tcsr, None, &grid).memory_bytes()))
+    });
+    // max_iters = 0 isolates the setup (degree/activity + init) phase.
+    let setup_cfg = PrConfig {
+        max_iters: 0,
+        ..Default::default()
+    };
+    let index_full = WindowIndex::build(&tcsr, None, &grid);
+    let small_events = log.slice_by_time(bench_window.start, bench_window.end);
+    let tcsr_small = TemporalCsr::from_events(log.num_vertices(), small_events, true);
+    let index_small = WindowIndex::build(&tcsr_small, None, &grid[j..j + 1]);
+    let mut ws = PrWorkspace::default();
+    g.bench_function("pr_setup_unindexed_full_part", |b| {
+        b.iter(|| {
+            pagerank_window(
+                &tcsr,
+                &tcsr,
+                bench_window,
+                Init::Uniform,
+                &setup_cfg,
+                None,
+                &mut ws,
+            )
+        })
+    });
+    g.bench_function("pr_setup_unindexed_window_part", |b| {
+        b.iter(|| {
+            pagerank_window(
+                &tcsr_small,
+                &tcsr_small,
+                bench_window,
+                Init::Uniform,
+                &setup_cfg,
+                None,
+                &mut ws,
+            )
+        })
+    });
+    g.bench_function("pr_setup_indexed_full_part", |b| {
+        b.iter(|| {
+            pagerank_window_indexed(
+                &tcsr,
+                &tcsr,
+                &index_full.view(j),
+                Init::Uniform,
+                &setup_cfg,
+                None,
+                &mut ws,
+            )
+        })
+    });
+    g.bench_function("pr_setup_indexed_window_part", |b| {
+        b.iter(|| {
+            pagerank_window_indexed(
+                &tcsr_small,
+                &tcsr_small,
+                &index_small.view(0),
+                Init::Uniform,
+                &setup_cfg,
+                None,
+                &mut ws,
+            )
         })
     });
 

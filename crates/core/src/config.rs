@@ -78,6 +78,11 @@ pub struct PostmortemConfig {
     /// Use partial initialization (Eq. 4) where the previous window's ranks
     /// are available on-thread.
     pub partial_init: bool,
+    /// Serve each kernel's degree/activity setup from the per-window
+    /// [`tempopr_graph::WindowIndex`] (built lazily, once per multi-window
+    /// graph) instead of rescanning the part's temporal CSR per window.
+    /// Ranks are identical either way; disable only for ablation.
+    pub use_window_index: bool,
     /// Worker threads (0 = rayon default: all cores).
     pub threads: usize,
     /// Output retention.
@@ -95,6 +100,7 @@ impl Default for PostmortemConfig {
             kernel: KernelKind::default(),
             scheduler: Scheduler::default(),
             partial_init: true,
+            use_window_index: true,
             threads: 0,
             retain: RetainMode::Full,
         }
@@ -127,6 +133,7 @@ mod tests {
         assert_eq!(c.mode, ParallelMode::Nested);
         assert_eq!(c.kernel, KernelKind::SpMM { lanes: 16 });
         assert!(c.partial_init);
+        assert!(c.use_window_index);
         assert!(c.symmetric);
         assert_eq!(c.scheduler.partitioner, Partitioner::Auto);
     }

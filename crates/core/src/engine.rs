@@ -24,7 +24,8 @@ use crate::config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
 use crate::result::{hash01, RunOutput, SparseRanks, WindowOutput};
 use tempopr_graph::{EventLog, GraphError, MultiWindowGraph, MultiWindowSet, WindowSpec};
 use tempopr_kernel::{
-    pagerank_batch, pagerank_window, pagerank_window_blocking, thread_pool, BlockingWorkspace,
+    pagerank_batch, pagerank_batch_indexed, pagerank_window, pagerank_window_blocking,
+    pagerank_window_blocking_indexed, pagerank_window_indexed, thread_pool, BlockingWorkspace,
     Init, PrStats, PrWorkspace, Scheduler, SpmmWorkspace,
 };
 
@@ -139,7 +140,12 @@ impl PostmortemEngine {
                 Init::Uniform
             };
             let (pull, push) = (part.pull_tcsr(), part.tcsr());
-            let stats = pagerank_window(pull, push, range, init, &self.cfg.pr, inner, &mut ws);
+            let stats = if self.cfg.use_window_index {
+                let view = part.index_view(w);
+                pagerank_window_indexed(pull, push, &view, init, &self.cfg.pr, inner, &mut ws)
+            } else {
+                pagerank_window(pull, push, range, init, &self.cfg.pr, inner, &mut ws)
+            };
             out.push(self.make_output(w, part, stats, ws.ranks()));
             // Keep this window's ranks as the next window's previous vector.
             prev.clear();
@@ -179,7 +185,12 @@ impl PostmortemEngine {
                 Init::Uniform
             };
             let (pull, push) = (part.pull_tcsr(), part.tcsr());
-            let stats = pagerank_window_blocking(pull, push, range, init, &self.cfg.pr, &mut ws);
+            let stats = if self.cfg.use_window_index {
+                let view = part.index_view(w);
+                pagerank_window_blocking_indexed(pull, push, &view, init, &self.cfg.pr, &mut ws)
+            } else {
+                pagerank_window_blocking(pull, push, range, init, &self.cfg.pr, &mut ws)
+            };
             out.push(self.make_output(w, part, stats, &ws.pr.x));
             prev.clear();
             prev.extend_from_slice(&ws.pr.x);
@@ -272,7 +283,13 @@ impl PostmortemEngine {
                     })
                     .collect();
                 let (pull, push) = (part.pull_tcsr(), part.tcsr());
-                pagerank_batch(pull, push, &ranges, &inits, &self.cfg.pr, inner, &mut ws)
+                if self.cfg.use_window_index {
+                    let index = part.window_index();
+                    let views: Vec<_> = lanes_now.iter().map(|&lw| index.view(lw)).collect();
+                    pagerank_batch_indexed(pull, push, &views, &inits, &self.cfg.pr, inner, &mut ws)
+                } else {
+                    pagerank_batch(pull, push, &ranges, &inits, &self.cfg.pr, inner, &mut ws)
+                }
             };
             let nlanes = lanes_now.len();
             for (i, &lw) in lanes_now.iter().enumerate() {
@@ -500,6 +517,47 @@ mod tests {
             with.total_iterations(),
             without.total_iterations()
         );
+    }
+
+    #[test]
+    fn indexed_and_unindexed_runs_are_identical() {
+        // The window index must not change a single bit of the output:
+        // fingerprints, iteration counts, and rank vectors all match across
+        // every kernel and parallel mode.
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 60, 25).unwrap();
+        for kernel in [
+            KernelKind::SpMV,
+            KernelKind::SpMM { lanes: 4 },
+            KernelKind::PushBlocking,
+        ] {
+            for mode in [
+                ParallelMode::Sequential,
+                ParallelMode::WindowLevel,
+                ParallelMode::ApplicationLevel,
+                ParallelMode::Nested,
+            ] {
+                let mk = |use_window_index| PostmortemConfig {
+                    kernel,
+                    mode,
+                    use_window_index,
+                    pr: tight_cfg(),
+                    num_multiwindows: 3,
+                    ..Default::default()
+                };
+                let indexed = PostmortemEngine::new(&log, spec, mk(true)).unwrap().run();
+                let plain = PostmortemEngine::new(&log, spec, mk(false)).unwrap().run();
+                for (x, y) in indexed.windows.iter().zip(plain.windows.iter()) {
+                    assert_eq!(x.window, y.window);
+                    assert_eq!(x.stats, y.stats, "{kernel:?} {mode:?} window {}", x.window);
+                    assert_eq!(
+                        x.fingerprint, y.fingerprint,
+                        "{kernel:?} {mode:?} window {}",
+                        x.window
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod io;
 pub mod multiwindow;
 pub mod tcsr;
 pub mod window;
+pub mod windowindex;
 
 pub use csr::Csr;
 pub use error::GraphError;
@@ -32,3 +33,4 @@ pub use multiwindow::{
 };
 pub use tcsr::{NeighborRun, TemporalCsr};
 pub use window::{TimeRange, WindowSpec};
+pub use windowindex::{WindowIndex, WindowIndexView};

@@ -13,7 +13,9 @@ use crate::error::GraphError;
 use crate::events::{Event, EventLog, VertexId};
 use crate::tcsr::TemporalCsr;
 use crate::window::{TimeRange, WindowSpec};
+use crate::windowindex::{WindowIndex, WindowIndexView};
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// How windows are grouped into multi-window graphs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,7 +32,7 @@ pub enum PartitionStrategy {
 
 /// One multi-window graph: a contiguous group of windows plus the temporal
 /// CSR of the events in their joint time span, over a local vertex space.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MultiWindowGraph {
     windows: Range<usize>,
     span: TimeRange,
@@ -40,6 +42,30 @@ pub struct MultiWindowGraph {
     /// In-edge transpose, present only for directed builds (symmetric
     /// builds pull and push from the same structure).
     transpose: Option<TemporalCsr>,
+    /// Time range of each served window, aligned with `windows`.
+    ranges: Box<[TimeRange]>,
+    /// Per-window activity/degree index, built lazily on first use.
+    index: OnceLock<WindowIndex>,
+}
+
+impl Clone for MultiWindowGraph {
+    fn clone(&self) -> Self {
+        // OnceLock is not Clone; carry over an already-built index so a
+        // clone doesn't silently lose the precomputation.
+        let index = OnceLock::new();
+        if let Some(built) = self.index.get() {
+            let _ = index.set(built.clone());
+        }
+        MultiWindowGraph {
+            windows: self.windows.clone(),
+            span: self.span,
+            vertices: self.vertices.clone(),
+            tcsr: self.tcsr.clone(),
+            transpose: self.transpose.clone(),
+            ranges: self.ranges.clone(),
+            index,
+        }
+    }
 }
 
 impl MultiWindowGraph {
@@ -106,11 +132,53 @@ impl MultiWindowGraph {
             .map(|i| i as VertexId)
     }
 
-    /// Approximate heap footprint in bytes (vertex map + temporal CSR(s)).
+    /// The time range of each served window, aligned with [`Self::windows`].
+    #[inline]
+    pub fn window_ranges(&self) -> &[TimeRange] {
+        &self.ranges
+    }
+
+    /// The per-window activity/degree index, building it on first use.
+    ///
+    /// The build is a single pass over this part's temporal CSR(s) covering
+    /// every served window; afterwards a kernel's degree/activity setup for
+    /// window `w` is an `O(|V_w active|)` copy out of
+    /// [`Self::index_view`]. Thread-safe: concurrent callers block on one
+    /// build.
+    pub fn window_index(&self) -> &WindowIndex {
+        self.index
+            .get_or_init(|| WindowIndex::build(&self.tcsr, self.transpose.as_ref(), &self.ranges))
+    }
+
+    /// The index if it has already been built (e.g. for memory accounting
+    /// without forcing a build).
+    #[inline]
+    pub fn window_index_built(&self) -> Option<&WindowIndex> {
+        self.index.get()
+    }
+
+    /// The index view of **global** window `i`, building the index on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if this graph does not serve window `i`.
+    pub fn index_view(&self, window: usize) -> WindowIndexView<'_> {
+        assert!(
+            self.contains_window(window),
+            "window {window} not served by part covering {:?}",
+            self.windows
+        );
+        self.window_index().view(window - self.windows.start)
+    }
+
+    /// Approximate heap footprint in bytes (vertex map + temporal CSR(s) +
+    /// window ranges + the activity index if built).
     pub fn memory_bytes(&self) -> usize {
         self.vertices.len() * std::mem::size_of::<VertexId>()
             + self.tcsr.memory_bytes()
             + self.transpose.as_ref().map_or(0, |t| t.memory_bytes())
+            + self.ranges.len() * std::mem::size_of::<TimeRange>()
+            + self.index.get().map_or(0, |i| i.memory_bytes())
     }
 }
 
@@ -152,7 +220,15 @@ impl MultiWindowSet {
             let windows = boundaries[p]..boundaries[p + 1];
             let span = spec.span_of(windows.clone());
             let events = log.slice_by_time(span.start, span.end);
-            graphs.push(build_part(windows, span, events, symmetric, &mut local_of));
+            let ranges: Vec<TimeRange> = windows.clone().map(|w| spec.window(w)).collect();
+            graphs.push(build_part(
+                windows,
+                span,
+                ranges,
+                events,
+                symmetric,
+                &mut local_of,
+            ));
         }
         Ok(MultiWindowSet {
             spec,
@@ -266,11 +342,22 @@ fn equal_window_boundaries(count: usize, parts: usize) -> Vec<usize> {
 
 /// Boundaries chosen so each group's span holds roughly `total/parts`
 /// events, while every group keeps at least one window.
+///
+/// Window ends are nondecreasing in `w`, so a single forward cursor over
+/// the time-sorted event list tracks how many events fall at or before the
+/// current candidate window's end — `O(W + E)` total, instead of one
+/// `O(log E)` binary search per candidate window per boundary (which
+/// degraded to `Θ(W · log E)` on heavily skewed logs where the cursor
+/// barely advances between boundaries).
 fn equal_event_boundaries(log: &EventLog, spec: &WindowSpec, parts: usize) -> Vec<usize> {
     let total = log.len();
+    let events = log.events();
     let mut b = Vec::with_capacity(parts + 1);
     b.push(0usize);
     let mut w = 0usize;
+    // Events with `t <= spec.window(w).end` seen so far; only ever moves
+    // forward because window ends are nondecreasing.
+    let mut consumed = 0usize;
     for p in 1..parts {
         let target = p * total / parts;
         // Advance w until the events at or before window w's end reach the
@@ -278,7 +365,9 @@ fn equal_event_boundaries(log: &EventLog, spec: &WindowSpec, parts: usize) -> Ve
         let max_w = spec.count - (parts - p);
         while w + 1 < max_w {
             let end = spec.window(w).end;
-            let consumed = log.index_range_by_time(log.first_time(), end).end;
+            while consumed < total && events[consumed].t <= end {
+                consumed += 1;
+            }
             if consumed >= target {
                 break;
             }
@@ -295,6 +384,7 @@ fn equal_event_boundaries(log: &EventLog, spec: &WindowSpec, parts: usize) -> Ve
 fn build_part(
     windows: Range<usize>,
     span: TimeRange,
+    ranges: Vec<TimeRange>,
     events: &[Event],
     symmetric: bool,
     local_of: &mut [VertexId],
@@ -331,6 +421,8 @@ fn build_part(
         vertices: vertices.into_boxed_slice(),
         tcsr,
         transpose,
+        ranges: ranges.into_boxed_slice(),
+        index: OnceLock::new(),
     }
 }
 
@@ -533,6 +625,142 @@ mod tests {
             worst <= budget,
             "worst part {worst} exceeds budget {budget}"
         );
+    }
+
+    /// Reference implementation of [`equal_event_boundaries`]: the original
+    /// per-candidate binary-search formulation, kept only to pin the
+    /// incremental-cursor rewrite's output.
+    fn equal_event_boundaries_reference(
+        log: &EventLog,
+        spec: &WindowSpec,
+        parts: usize,
+    ) -> Vec<usize> {
+        let total = log.len();
+        let mut b = vec![0usize];
+        let mut w = 0usize;
+        for p in 1..parts {
+            let target = p * total / parts;
+            let max_w = spec.count - (parts - p);
+            while w + 1 < max_w {
+                let end = spec.window(w).end;
+                let consumed = log.index_range_by_time(log.first_time(), end).end;
+                if consumed >= target {
+                    break;
+                }
+                w += 1;
+            }
+            w += 1;
+            b.push(w.min(max_w));
+            w = *b.last().unwrap();
+        }
+        b.push(spec.count);
+        b
+    }
+
+    #[test]
+    fn equal_events_incremental_cursor_matches_reference_on_skewed_logs() {
+        // Heavily skewed logs are the regression case: almost all events in
+        // a tiny time slice, then a long sparse tail of windows the cursor
+        // must walk through without re-searching the dense prefix.
+        let skews: [Vec<Event>; 3] = [
+            // Dense burst at the start, sparse tail.
+            (0..400)
+                .map(|i| {
+                    ev(
+                        i % 7,
+                        (i + 3) % 7,
+                        if i < 380 { (i % 5) as i64 } else { i as i64 },
+                    )
+                })
+                .collect(),
+            // Dense burst at the end.
+            (0..400)
+                .map(|i| ev(i % 7, (i + 3) % 7, if i < 20 { i as i64 } else { 395 }))
+                .collect(),
+            // Dense burst in the middle.
+            (0..400)
+                .map(|i| {
+                    ev(
+                        i % 7,
+                        (i + 3) % 7,
+                        if (180..220).contains(&i) {
+                            200
+                        } else {
+                            i as i64
+                        },
+                    )
+                })
+                .collect(),
+        ];
+        for events in skews {
+            let log = EventLog::from_unsorted(events, 7).unwrap();
+            for (delta, sw) in [(10, 5), (25, 10), (5, 20)] {
+                let spec = WindowSpec::covering(&log, delta, sw).unwrap();
+                for parts in 1..=spec.count.min(9) {
+                    assert_eq!(
+                        equal_event_boundaries(&log, &spec, parts),
+                        equal_event_boundaries_reference(&log, &spec, parts),
+                        "delta={delta} sw={sw} parts={parts}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_ranges_match_spec() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 3, true, PartitionStrategy::EqualWindows).unwrap();
+        for g in set.graphs() {
+            let ranges = g.window_ranges();
+            assert_eq!(ranges.len(), g.num_windows());
+            for (j, w) in g.windows().enumerate() {
+                assert_eq!(ranges[j], spec.window(w));
+            }
+        }
+    }
+
+    #[test]
+    fn window_index_lazy_build_and_clone_carryover() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 15, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 2, true, PartitionStrategy::EqualWindows).unwrap();
+        let g = &set.graphs()[0];
+        assert!(g.window_index_built().is_none());
+        let before = g.memory_bytes();
+        let idx = g.window_index();
+        assert_eq!(idx.num_windows(), g.num_windows());
+        // Memory accounting includes the built index.
+        assert!(g.memory_bytes() > before);
+        // Cloning preserves an already-built index; cloning an unbuilt one
+        // stays unbuilt.
+        let cloned = g.clone();
+        assert_eq!(cloned.window_index_built(), Some(idx));
+        let unbuilt = &set.graphs()[1];
+        assert!(unbuilt.clone().window_index_built().is_none());
+    }
+
+    #[test]
+    fn index_view_matches_tcsr_bruteforce_per_window() {
+        let log = log();
+        let spec = WindowSpec::covering(&log, 25, 10).unwrap();
+        let set =
+            MultiWindowSet::build(&log, spec, 3, true, PartitionStrategy::EqualWindows).unwrap();
+        for w in 0..spec.count {
+            let g = set.part_of(w);
+            let view = g.index_view(w);
+            assert_eq!(view.range, spec.window(w));
+            for lv in 0..g.num_local_vertices() as u32 {
+                let deg = g.tcsr().active_degree(lv, view.range) as u32;
+                match view.vertices.binary_search(&lv) {
+                    Ok(i) => assert_eq!(view.deg_out[i], deg, "window {w} vertex {lv}"),
+                    Err(_) => assert_eq!(deg, 0, "window {w} vertex {lv} missing from index"),
+                }
+            }
+        }
     }
 
     #[test]

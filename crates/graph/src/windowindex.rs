@@ -1,0 +1,500 @@
+//! Per-window activity/degree index for multi-window graphs.
+//!
+//! Every PageRank kernel needs, per window: the active vertex set, the
+//! out-degree (and its reciprocal) of each active vertex, and the dangling
+//! vertices. Deriving these on demand costs one full scan of the part's
+//! temporal CSR *per window per kernel invocation* — `Θ(entries)` of setup
+//! before a single iteration runs. A [`WindowIndex`] precomputes all of it
+//! for every window a [`MultiWindowGraph`](crate::MultiWindowGraph) serves
+//! in **one** pass over the part's CSR, so a kernel's degree/activity phase
+//! collapses to an `O(|V_w active|)` copy out of [`WindowIndexView`].
+//!
+//! ## Build algorithm
+//! A timestamp `t` belongs to the contiguous block of windows whose
+//! `[start, end]` span contains it (windows slide by a fixed offset, so the
+//! block is an interval of window indices computed arithmetically). For
+//! each vertex, each neighbor run's ascending timestamps yield ascending
+//! window intervals which are merged on the fly; every merged interval adds
+//! `+1` to a per-vertex difference array over window indices. A prefix sum
+//! over the touched sub-range recovers the vertex's active degree in every
+//! window, giving total build cost
+//! `O(entries + Σ_w |V_w active| + V)` — independent of the window count
+//! except through the output itself.
+
+use crate::events::{Timestamp, VertexId};
+use crate::tcsr::TemporalCsr;
+use crate::window::TimeRange;
+use std::ops::Range;
+
+/// Precomputed per-window active lists, degrees, and dangling sets for all
+/// windows served by one multi-window graph. Vertex ids are the part's
+/// local ids (the same space its [`TemporalCsr`] uses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowIndex {
+    /// The time range of each indexed window, in window order.
+    ranges: Box<[TimeRange]>,
+    /// Offsets into the aligned per-active-vertex arrays (`W + 1` entries).
+    off: Box<[usize]>,
+    /// Active vertices per window, ascending within each window.
+    vertex: Box<[VertexId]>,
+    /// Out-degree aligned with `vertex` (0 for dangling vertices).
+    deg_out: Box<[u32]>,
+    /// `1 / deg_out` aligned with `vertex` (0.0 for dangling vertices).
+    inv_deg: Box<[f64]>,
+    /// Offsets into `dangling` (`W + 1` entries).
+    dang_off: Box<[usize]>,
+    /// Dangling vertices (active with zero out-degree) per window, ascending.
+    dangling: Box<[VertexId]>,
+}
+
+/// Borrowed slices of one window's index data — everything a kernel's
+/// setup phase needs, sized by the window's active set.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowIndexView<'a> {
+    /// The window's time range.
+    pub range: TimeRange,
+    /// Vertices active in the window (local ids, ascending).
+    pub vertices: &'a [VertexId],
+    /// Out-degree per active vertex, aligned with `vertices`.
+    pub deg_out: &'a [u32],
+    /// Reciprocal out-degree per active vertex (0.0 where dangling).
+    pub inv_deg: &'a [f64],
+    /// Active vertices with zero out-degree, ascending.
+    pub dangling: &'a [VertexId],
+}
+
+impl WindowIndexView<'_> {
+    /// `|V_w|`: number of active vertices in the window.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// Maps a timestamp to the contiguous block of windows containing it.
+/// Windows from a [`WindowSpec`](crate::WindowSpec) are uniformly spaced
+/// and equally wide, which admits an O(1) arithmetic mapping; anything
+/// else (sorted by start and end) falls back to binary search.
+struct WindowGrid<'a> {
+    ranges: &'a [TimeRange],
+    /// `(s0, sw, delta)` when the windows are a uniform grid.
+    uniform: Option<(Timestamp, Timestamp, Timestamp)>,
+}
+
+impl<'a> WindowGrid<'a> {
+    fn new(ranges: &'a [TimeRange]) -> Self {
+        debug_assert!(
+            ranges
+                .windows(2)
+                .all(|p| p[0].start <= p[1].start && p[0].end <= p[1].end),
+            "window ranges must be sorted by start and end"
+        );
+        let uniform = (ranges.len() >= 2)
+            .then(|| {
+                let sw = ranges[1].start - ranges[0].start;
+                let delta = ranges[0].end - ranges[0].start;
+                (sw > 0
+                    && ranges
+                        .windows(2)
+                        .all(|p| p[1].start - p[0].start == sw && p[1].end - p[1].start == delta))
+                .then_some((ranges[0].start, sw, delta))
+            })
+            .flatten();
+        WindowGrid { ranges, uniform }
+    }
+
+    /// The (possibly empty) interval of window indices whose range
+    /// contains `t`.
+    fn windows_containing(&self, t: Timestamp) -> Range<usize> {
+        match self.uniform {
+            Some((s0, sw, delta)) => {
+                let w = self.ranges.len();
+                // j satisfies j*sw <= t - s0 <= j*sw + delta.
+                let hi = (t - s0).div_euclid(sw);
+                if hi < 0 {
+                    return 0..0;
+                }
+                let hi = (hi as usize).min(w - 1);
+                let lo = (t - s0 - delta + sw - 1).div_euclid(sw).max(0) as usize;
+                if lo > hi {
+                    0..0
+                } else {
+                    lo..hi + 1
+                }
+            }
+            None => {
+                let lo = self.ranges.partition_point(|r| r.end < t);
+                let hi = self.ranges.partition_point(|r| r.start <= t);
+                lo..hi.max(lo)
+            }
+        }
+    }
+}
+
+/// One pass over `tcsr`: for every vertex and window, the number of
+/// neighbor runs active in that window. Emits `(window, vertex, degree)`
+/// with vertices ascending within each window, degree always positive.
+fn scan_degrees(
+    tcsr: &TemporalCsr,
+    grid: &WindowGrid<'_>,
+    num_windows: usize,
+    mut emit: impl FnMut(u32, VertexId, u32),
+) {
+    let n = tcsr.num_vertices();
+    // Per-vertex difference array over window indices; only the touched
+    // sub-range is swept and reset, so a vertex costs O(its entries + the
+    // window span of its activity), not O(W).
+    let mut diff = vec![0i32; num_windows + 1];
+    for v in 0..n {
+        let mut lo_touched = num_windows;
+        let mut hi_touched = 0usize;
+        for run in tcsr.runs(v as VertexId) {
+            // Ascending timestamps give ascending window intervals; merge
+            // adjacent/overlapping ones so each run counts once per window.
+            let mut cur: Option<(usize, usize)> = None;
+            for &t in run.times {
+                let w = grid.windows_containing(t);
+                if w.is_empty() {
+                    continue;
+                }
+                let (a, b) = (w.start, w.end - 1);
+                cur = match cur {
+                    Some((ca, cb)) if a <= cb + 1 => Some((ca, cb.max(b))),
+                    Some((ca, cb)) => {
+                        diff[ca] += 1;
+                        diff[cb + 1] -= 1;
+                        lo_touched = lo_touched.min(ca);
+                        hi_touched = hi_touched.max(cb);
+                        Some((a, b))
+                    }
+                    None => Some((a, b)),
+                };
+            }
+            if let Some((ca, cb)) = cur {
+                diff[ca] += 1;
+                diff[cb + 1] -= 1;
+                lo_touched = lo_touched.min(ca);
+                hi_touched = hi_touched.max(cb);
+            }
+        }
+        if lo_touched <= hi_touched {
+            let mut acc = 0i32;
+            for (j, d) in diff[lo_touched..=hi_touched].iter_mut().enumerate() {
+                acc += *d;
+                *d = 0;
+                if acc > 0 {
+                    emit((lo_touched + j) as u32, v as VertexId, acc as u32);
+                }
+            }
+            diff[hi_touched + 1] = 0;
+        }
+    }
+}
+
+/// Counting-sorts `(window, ..)` tuples into window-major order, keeping
+/// the per-window vertex order (ascending, because generation is
+/// vertex-major). Returns `W + 1` offsets.
+fn sort_by_window<T: Copy + Default>(
+    entries: &[(u32, VertexId, T)],
+    num_windows: usize,
+) -> (Vec<usize>, Vec<(VertexId, T)>) {
+    let mut off = vec![0usize; num_windows + 1];
+    for &(w, _, _) in entries {
+        off[w as usize + 1] += 1;
+    }
+    for j in 0..num_windows {
+        off[j + 1] += off[j];
+    }
+    let mut sorted = vec![(0 as VertexId, T::default()); entries.len()];
+    let mut cursor = off[..num_windows].to_vec();
+    for &(w, v, x) in entries {
+        let c = &mut cursor[w as usize];
+        sorted[*c] = (v, x);
+        *c += 1;
+    }
+    (off, sorted)
+}
+
+impl WindowIndex {
+    /// Builds the index over `ranges` for a part whose out-edges live in
+    /// `push`. For directed builds, `pull` must be the in-edge transpose so
+    /// vertices that only *receive* edges still join the active set; pass
+    /// `None` for symmetric builds (out-activity is all activity there).
+    pub fn build(push: &TemporalCsr, pull: Option<&TemporalCsr>, ranges: &[TimeRange]) -> Self {
+        let w = ranges.len();
+        let grid = WindowGrid::new(ranges);
+
+        let mut out_entries: Vec<(u32, VertexId, u32)> = Vec::new();
+        scan_degrees(push, &grid, w, |win, v, deg| {
+            out_entries.push((win, v, deg));
+        });
+        let (out_off, out_sorted) = sort_by_window(&out_entries, w);
+        drop(out_entries);
+
+        let (in_off, in_sorted) = match pull {
+            Some(pt) => {
+                debug_assert_eq!(pt.num_vertices(), push.num_vertices());
+                let mut in_entries: Vec<(u32, VertexId, ())> = Vec::new();
+                scan_degrees(pt, &grid, w, |win, v, _| {
+                    in_entries.push((win, v, ()));
+                });
+                sort_by_window(&in_entries, w)
+            }
+            None => (vec![0usize; w + 1], Vec::new()),
+        };
+
+        // Merge out- and in-activity per window into the final layout.
+        let mut off = Vec::with_capacity(w + 1);
+        let mut vertex = Vec::with_capacity(out_sorted.len());
+        let mut deg_out = Vec::with_capacity(out_sorted.len());
+        let mut inv_deg = Vec::with_capacity(out_sorted.len());
+        let mut dang_off = Vec::with_capacity(w + 1);
+        let mut dangling = Vec::new();
+        off.push(0);
+        dang_off.push(0);
+        for j in 0..w {
+            let outs = &out_sorted[out_off[j]..out_off[j + 1]];
+            let ins = &in_sorted[in_off[j]..in_off[j + 1]];
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < outs.len() || b < ins.len() {
+                let (v, d) = match (outs.get(a), ins.get(b)) {
+                    (Some(&(vo, d)), Some(&(vi, _))) if vo < vi => {
+                        a += 1;
+                        (vo, d)
+                    }
+                    (Some(&(vo, d)), Some(&(vi, _))) if vo == vi => {
+                        a += 1;
+                        b += 1;
+                        (vo, d)
+                    }
+                    (_, Some(&(vi, _))) => {
+                        b += 1;
+                        (vi, 0)
+                    }
+                    (Some(&(vo, d)), None) => {
+                        a += 1;
+                        (vo, d)
+                    }
+                    (None, None) => unreachable!(),
+                };
+                vertex.push(v);
+                deg_out.push(d);
+                if d > 0 {
+                    inv_deg.push(1.0 / d as f64);
+                } else {
+                    inv_deg.push(0.0);
+                    dangling.push(v);
+                }
+            }
+            off.push(vertex.len());
+            dang_off.push(dangling.len());
+        }
+
+        WindowIndex {
+            ranges: ranges.to_vec().into_boxed_slice(),
+            off: off.into_boxed_slice(),
+            vertex: vertex.into_boxed_slice(),
+            deg_out: deg_out.into_boxed_slice(),
+            inv_deg: inv_deg.into_boxed_slice(),
+            dang_off: dang_off.into_boxed_slice(),
+            dangling: dangling.into_boxed_slice(),
+        }
+    }
+
+    /// Number of indexed windows.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The indexed windows' time ranges, in order.
+    #[inline]
+    pub fn ranges(&self) -> &[TimeRange] {
+        &self.ranges
+    }
+
+    /// The view of local window `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= num_windows()`.
+    #[inline]
+    pub fn view(&self, j: usize) -> WindowIndexView<'_> {
+        let (lo, hi) = (self.off[j], self.off[j + 1]);
+        WindowIndexView {
+            range: self.ranges[j],
+            vertices: &self.vertex[lo..hi],
+            deg_out: &self.deg_out[lo..hi],
+            inv_deg: &self.inv_deg[lo..hi],
+            dangling: &self.dangling[self.dang_off[j]..self.dang_off[j + 1]],
+        }
+    }
+
+    /// Total active-list entries across all windows (`Σ_w |V_w active|`).
+    #[inline]
+    pub fn total_active_entries(&self) -> usize {
+        self.vertex.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.ranges.len() * std::mem::size_of::<TimeRange>()
+            + (self.off.len() + self.dang_off.len()) * std::mem::size_of::<usize>()
+            + (self.vertex.len() + self.dangling.len()) * std::mem::size_of::<VertexId>()
+            + self.deg_out.len() * std::mem::size_of::<u32>()
+            + self.inv_deg.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+
+    fn spec_ranges(t0: Timestamp, delta: Timestamp, sw: Timestamp, count: usize) -> Vec<TimeRange> {
+        (0..count)
+            .map(|i| {
+                let s = t0 + i as Timestamp * sw;
+                TimeRange::new(s, s + delta)
+            })
+            .collect()
+    }
+
+    /// Brute-force index check against `TemporalCsr::active_degree`.
+    fn check_against_bruteforce(
+        push: &TemporalCsr,
+        pull: Option<&TemporalCsr>,
+        ranges: &[TimeRange],
+    ) {
+        let idx = WindowIndex::build(push, pull, ranges);
+        assert_eq!(idx.num_windows(), ranges.len());
+        for (j, &range) in ranges.iter().enumerate() {
+            let view = idx.view(j);
+            assert_eq!(view.range, range);
+            let mut expect: Vec<(VertexId, u32)> = Vec::new();
+            for v in 0..push.num_vertices() as VertexId {
+                let d = push.active_degree(v, range) as u32;
+                let active = d > 0 || pull.is_some_and(|p| p.active_degree(v, range) > 0);
+                if active {
+                    expect.push((v, d));
+                }
+            }
+            let got: Vec<(VertexId, u32)> = view
+                .vertices
+                .iter()
+                .copied()
+                .zip(view.deg_out.iter().copied())
+                .collect();
+            assert_eq!(got, expect, "window {j}");
+            let expect_dangling: Vec<VertexId> = expect
+                .iter()
+                .filter(|&&(_, d)| d == 0)
+                .map(|&(v, _)| v)
+                .collect();
+            assert_eq!(view.dangling, &expect_dangling[..], "window {j} dangling");
+            for (i, &v) in view.vertices.iter().enumerate() {
+                let d = view.deg_out[i];
+                if d > 0 {
+                    assert!(
+                        (view.inv_deg[i] - 1.0 / d as f64).abs() < 1e-15,
+                        "vertex {v}"
+                    );
+                } else {
+                    assert_eq!(view.inv_deg[i], 0.0);
+                }
+            }
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        let mut events = Vec::new();
+        for i in 0..150u32 {
+            let u = (i * 13 + 2) % 20;
+            let v = (i * 7 + 5) % 20;
+            if u != v {
+                events.push(Event::new(u, v, (i * 3) as i64));
+            }
+        }
+        // A burst of repeated events on one pair, to exercise run merging.
+        for t in 100..120 {
+            events.push(Event::new(1, 2, t));
+        }
+        events
+    }
+
+    #[test]
+    fn symmetric_index_matches_bruteforce() {
+        let t = TemporalCsr::from_events(20, &sample_events(), true);
+        let ranges = spec_ranges(0, 90, 40, 11);
+        check_against_bruteforce(&t, None, &ranges);
+    }
+
+    #[test]
+    fn directed_index_matches_bruteforce() {
+        let out = TemporalCsr::from_events(20, &sample_events(), false);
+        let pull = out.transpose();
+        let ranges = spec_ranges(0, 90, 40, 11);
+        check_against_bruteforce(&out, Some(&pull), &ranges);
+    }
+
+    #[test]
+    fn overlapping_and_disjoint_grids() {
+        let t = TemporalCsr::from_events(20, &sample_events(), true);
+        // Heavy overlap (delta >> sw), no overlap, and sparse coverage.
+        for (delta, sw) in [(200, 10), (30, 30), (10, 120)] {
+            let count = (460 / sw + 1) as usize;
+            check_against_bruteforce(&t, None, &spec_ranges(0, delta, sw, count));
+        }
+    }
+
+    #[test]
+    fn single_window_uses_fallback_path() {
+        let t = TemporalCsr::from_events(20, &sample_events(), true);
+        check_against_bruteforce(&t, None, &spec_ranges(50, 100, 1, 1));
+    }
+
+    #[test]
+    fn negative_origin_grid() {
+        let events = vec![
+            Event::new(0, 1, -50),
+            Event::new(1, 2, -10),
+            Event::new(2, 3, 25),
+        ];
+        let t = TemporalCsr::from_events(4, &events, true);
+        check_against_bruteforce(&t, None, &spec_ranges(-60, 40, 25, 5));
+    }
+
+    #[test]
+    fn empty_windows_have_empty_views() {
+        let t = TemporalCsr::from_events(3, &[Event::new(0, 1, 5)], true);
+        let ranges = spec_ranges(100, 10, 10, 3);
+        let idx = WindowIndex::build(&t, None, &ranges);
+        for j in 0..3 {
+            assert_eq!(idx.view(j).active_count(), 0);
+            assert!(idx.view(j).dangling.is_empty());
+        }
+        assert_eq!(idx.total_active_entries(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_positive_and_scales() {
+        let t = TemporalCsr::from_events(20, &sample_events(), true);
+        let small = WindowIndex::build(&t, None, &spec_ranges(0, 50, 100, 2));
+        let large = WindowIndex::build(&t, None, &spec_ranges(0, 200, 20, 20));
+        assert!(small.memory_bytes() > 0);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn grid_mapping_agrees_with_contains() {
+        let ranges = spec_ranges(-7, 33, 12, 9);
+        let grid = WindowGrid::new(&ranges);
+        assert!(grid.uniform.is_some());
+        for t in -60..160 {
+            let got = grid.windows_containing(t);
+            let expect: Vec<usize> = (0..ranges.len())
+                .filter(|&j| ranges[j].contains(t))
+                .collect();
+            assert_eq!(got.collect::<Vec<_>>(), expect, "t={t}");
+        }
+    }
+}

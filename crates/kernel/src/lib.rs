@@ -32,10 +32,13 @@ pub mod spmm;
 
 pub use linear_system::solve_pagerank_exact;
 pub use pagerank::{
-    pagerank_csr, pagerank_window, pagerank_window_vec, Init, PrConfig, PrStats, PrWorkspace,
+    pagerank_csr, pagerank_window, pagerank_window_indexed, pagerank_window_vec, Init, PrConfig,
+    PrStats, PrWorkspace,
 };
 pub use personalized::pagerank_window_personalized;
-pub use propagation::{pagerank_window_blocking, BlockingWorkspace};
+pub use propagation::{
+    pagerank_window_blocking, pagerank_window_blocking_indexed, BlockingWorkspace,
+};
 pub use reference::reference_pagerank;
 pub use scheduler::{thread_pool, Partitioner, Scheduler};
-pub use spmm::{pagerank_batch, SpmmWorkspace, MAX_LANES};
+pub use spmm::{pagerank_batch, pagerank_batch_indexed, SpmmWorkspace, MAX_LANES};

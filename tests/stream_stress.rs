@@ -23,7 +23,7 @@ fn long_skewed_insert_delete_stress() {
 
     // Hub-heavy endpoint sampler: low ids are hot, mirroring the power-law
     // degree structure the real workloads have.
-    let mut sample = move |rng: &mut StdRng| -> u32 {
+    let sample = move |rng: &mut StdRng| -> u32 {
         let x: f64 = rng.gen::<f64>();
         ((n as f64) * x * x * x) as u32
     };
@@ -100,8 +100,7 @@ fn block_chain_growth_and_shrink_cycles() {
         // Delete in an interleaved order to hit head/middle/tail blocks.
         let mut order: Vec<u32> = (1..=count as u32).collect();
         order.reverse();
-        let (evens, odds): (Vec<u32>, Vec<u32>) =
-            order.iter().copied().partition(|&v| v % 2 == 0);
+        let (evens, odds): (Vec<u32>, Vec<u32>) = order.iter().copied().partition(|&v| v % 2 == 0);
         for v in evens.into_iter().chain(odds) {
             g.delete_event(0, v);
         }
