@@ -8,7 +8,9 @@ use std::time::Duration;
 use tempopr_bench::{BENCH_SCALE, BENCH_SEED};
 use tempopr_datagen::Dataset;
 use tempopr_graph::{Csr, TemporalCsr, TimeRange, WindowIndex};
-use tempopr_kernel::{pagerank_window, pagerank_window_indexed, Init, PrConfig, PrWorkspace};
+use tempopr_kernel::{
+    pagerank_window, pagerank_window_indexed, GuardConfig, Init, PrConfig, PrWorkspace,
+};
 use tempopr_stream::StreamingGraph;
 
 fn bench(c: &mut Criterion) {
@@ -128,9 +130,46 @@ fn bench(c: &mut Criterion) {
                 sg.insert_event(e.u, e.v, e.t);
             }
             for e in log.slice_by_time(window.start, window.end) {
-                sg.delete_event(e.u, e.v);
+                let _ = sg.delete_event(e.u, e.v);
             }
             std::hint::black_box(sg.num_edges())
+        })
+    });
+
+    // --- guards_overhead: numeric-health checks on the SpMV hot loop -----
+    // The per-iteration NaN/mass-drift guard piggybacks on the convergence
+    // reduction (one extra add per vertex), so the healthy-path cost should
+    // be noise (<2%). Full power iterations to convergence, same window,
+    // guard on vs off.
+    let full_cfg = PrConfig::default();
+    let unguarded_cfg = PrConfig {
+        guard: GuardConfig::off(),
+        ..PrConfig::default()
+    };
+    g.bench_function("guards_overhead/on", |b| {
+        b.iter(|| {
+            pagerank_window(
+                &tcsr,
+                &tcsr,
+                bench_window,
+                Init::Uniform,
+                &full_cfg,
+                None,
+                &mut ws,
+            )
+        })
+    });
+    g.bench_function("guards_overhead/off", |b| {
+        b.iter(|| {
+            pagerank_window(
+                &tcsr,
+                &tcsr,
+                bench_window,
+                Init::Uniform,
+                &unguarded_cfg,
+                None,
+                &mut ws,
+            )
         })
     });
 

@@ -53,6 +53,7 @@ pub fn streaming(log: &EventLog, spec: WindowSpec) -> RunOutput {
             ..Default::default()
         },
     )
+    .expect("streaming run")
 }
 
 /// Runs the offline baseline with summary retention.
@@ -66,4 +67,5 @@ pub fn offline(log: &EventLog, spec: WindowSpec) -> RunOutput {
             ..Default::default()
         },
     )
+    .expect("offline run")
 }

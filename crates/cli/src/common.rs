@@ -10,6 +10,21 @@ use tempopr_graph::{EventLog, WindowSpec};
 use tempopr_kernel::PrConfig;
 use tempopr_stream::{run_streaming, StreamingConfig};
 
+/// Prints a one-line diagnostic to stderr and exits nonzero — the
+/// harness's uniform failure path (it never panics on bad input or a
+/// failed run).
+pub fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Warns on stderr when a run completed degraded (some windows failed).
+pub fn warn_if_degraded(what: &str, out: &RunOutput) {
+    if out.degraded {
+        eprintln!("warning: {what} run degraded: {}", out.status_summary());
+    }
+}
+
 /// Experiment-wide options from the command line.
 #[derive(Debug, Clone, Copy)]
 pub struct Opts {
@@ -46,7 +61,8 @@ pub fn pr_config() -> PrConfig {
 /// capping the window count.
 pub fn workload(dataset: Dataset, sw: i64, delta: i64, opts: &Opts) -> (EventLog, WindowSpec) {
     let log = dataset.spec().generate(opts.scale, opts.seed);
-    let mut spec = WindowSpec::covering(&log, delta, sw).expect("valid window spec");
+    let mut spec =
+        WindowSpec::covering(&log, delta, sw).unwrap_or_else(|e| fail(format!("window spec: {e}")));
     if opts.max_windows > 0 && spec.count > opts.max_windows {
         spec.count = opts.max_windows;
     }
@@ -63,9 +79,10 @@ pub fn workload_with_count(
     opts: &Opts,
 ) -> (EventLog, WindowSpec) {
     let log = dataset.spec().generate(opts.scale, opts.seed);
-    let natural = WindowSpec::covering(&log, delta, sw).expect("valid window spec");
+    let natural =
+        WindowSpec::covering(&log, delta, sw).unwrap_or_else(|e| fail(format!("window spec: {e}")));
     let spec = WindowSpec::new(natural.t0, delta, sw, count.min(natural.count))
-        .expect("valid window spec");
+        .unwrap_or_else(|e| fail(format!("window spec: {e}")));
     (log, spec)
 }
 
@@ -84,7 +101,11 @@ pub fn time_streaming(log: &EventLog, spec: WindowSpec, opts: &Opts) -> (RunOutp
         threads: opts.threads,
         ..Default::default()
     };
-    time(|| run_streaming(log, spec, &cfg))
+    let (out, d) = time(|| {
+        run_streaming(log, spec, &cfg).unwrap_or_else(|e| fail(format!("streaming run: {e}")))
+    });
+    warn_if_degraded("streaming", &out);
+    (out, d)
 }
 
 /// Runs the offline model (summary retention) and reports wall time.
@@ -95,7 +116,11 @@ pub fn time_offline(log: &EventLog, spec: WindowSpec, opts: &Opts) -> (RunOutput
         threads: opts.threads,
         ..Default::default()
     };
-    time(|| run_offline(log, spec, &cfg))
+    let (out, d) = time(|| {
+        run_offline(log, spec, &cfg).unwrap_or_else(|e| fail(format!("offline run: {e}")))
+    });
+    warn_if_degraded("offline", &out);
+    (out, d)
 }
 
 /// Runs the postmortem model with `cfg` (forced to summary retention and
@@ -110,10 +135,13 @@ pub fn time_postmortem(
     cfg.retain = RetainMode::Summary;
     cfg.threads = opts.threads;
     cfg.pr = pr_config();
-    time(|| {
-        let engine = PostmortemEngine::new(log, spec, cfg).expect("engine build");
+    let (out, d) = time(|| {
+        let engine = PostmortemEngine::new(log, spec, cfg)
+            .unwrap_or_else(|e| fail(format!("engine build: {e}")));
         engine.run()
-    })
+    });
+    warn_if_degraded("postmortem", &out);
+    (out, d)
 }
 
 /// Formats a `Duration` in seconds with millisecond resolution.

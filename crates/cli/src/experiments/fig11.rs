@@ -1,7 +1,7 @@
 //! Figure 11: best postmortem speedup over streaming, across each
 //! dataset's full (sw, δ) grid.
 
-use crate::common::{parse_dataset, time_postmortem, time_streaming, workload, Opts};
+use crate::common::{fail, parse_dataset, time_postmortem, time_streaming, workload, Opts};
 use tempopr_core::{KernelKind, ParallelMode, PostmortemConfig};
 use tempopr_datagen::{Dataset, DAY};
 use tempopr_kernel::{Partitioner, Scheduler};
@@ -20,7 +20,7 @@ pub fn run(opts: &Opts, only: Option<&str>) {
         "dataset", "sw_s", "delta_days", "windows", "streaming_s", "best_pm_s", "speedup"
     );
     let datasets: Vec<Dataset> = match only {
-        Some(name) => vec![parse_dataset(name).expect("unknown dataset")],
+        Some(name) => vec![parse_dataset(name).unwrap_or_else(|| fail(format!("unknown dataset: {name}")))],
         None => Dataset::all().to_vec(),
     };
     for dataset in datasets {

@@ -21,7 +21,7 @@ pub fn run(opts: &Opts) {
         let (log, spec) = workload(dataset, sw, delta, opts);
         let (_, t_str) = time_streaming(&log, spec, opts);
         let cfg = suggest(&log, &spec, opts.threads);
-        let (_, t) = time_postmortem(&log, spec, cfg, opts);
+        let (_, t) = time_postmortem(&log, spec, cfg.clone(), opts);
         println!(
             "{:<8} {:>11} {:>8} {:>12.3} {:>12.3} {:>8.0}x  mode={:?} mw={}",
             sw,

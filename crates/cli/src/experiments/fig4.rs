@@ -1,6 +1,6 @@
 //! Figure 4: temporal edge distribution over the time period.
 
-use crate::common::{parse_dataset, Opts};
+use crate::common::{fail, parse_dataset, Opts};
 use tempopr_datagen::{Dataset, DAY};
 
 /// Prints, for each dataset, the event count in each of 40 equal time bins
@@ -12,7 +12,7 @@ pub fn run(opts: &Opts, only: Option<&str>) {
     );
     println!("{:<24} {:>10} {:>12}", "dataset", "bin_day", "events");
     let datasets: Vec<Dataset> = match only {
-        Some(name) => vec![parse_dataset(name).expect("unknown dataset")],
+        Some(name) => vec![parse_dataset(name).unwrap_or_else(|| fail(format!("unknown dataset: {name}")))],
         None => Dataset::all().to_vec(),
     };
     const BINS: usize = 40;

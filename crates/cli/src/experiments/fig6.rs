@@ -36,7 +36,7 @@ pub fn run(opts: &Opts) {
                 spec,
                 PostmortemConfig {
                     partial_init: false,
-                    ..base
+                    ..base.clone()
                 },
                 opts,
             );

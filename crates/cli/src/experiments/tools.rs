@@ -1,40 +1,51 @@
 //! User-facing tool subcommands beyond the paper's figures: run the
 //! analyses on your own event files and convert between formats.
 
-use crate::common::{parse_dataset, Opts};
+use crate::common::{fail, parse_dataset, warn_if_degraded, Opts};
 use tempopr_core::{PostmortemConfig, PostmortemEngine, RetainMode};
 use tempopr_datagen::DAY;
-use tempopr_graph::{io, EventLog, WindowSpec};
+use tempopr_graph::{io, EventLog, ParseMode, WindowSpec};
 
 /// Loads an event log from a path, picking the format by extension
-/// (`.bin` = binary, anything else = text).
-fn load(path: &str) -> EventLog {
-    let result = if path.ends_with(".bin") {
-        io::read_binary_file(path)
+/// (`.bin` = binary, anything else = text). With `lenient`, malformed
+/// text lines are skipped and the ingest report is echoed to stderr.
+fn load(path: &str, lenient: bool) -> EventLog {
+    if path.ends_with(".bin") {
+        match io::read_binary_file(path) {
+            Ok(log) => log,
+            Err(e) => fail(format!("failed to read {path}: {e}")),
+        }
     } else {
-        io::read_text_file(path)
-    };
-    match result {
-        Ok(log) => log,
-        Err(e) => {
-            eprintln!("failed to read {path}: {e}");
-            std::process::exit(1);
+        let mode = if lenient {
+            ParseMode::Lenient {
+                max_bad_records: usize::MAX,
+            }
+        } else {
+            ParseMode::Strict
+        };
+        match io::read_text_file_report(path, mode) {
+            Ok((log, report)) => {
+                if lenient || !report.is_clean() {
+                    eprintln!("{path}: {}", report.summary());
+                }
+                log
+            }
+            Err(e) => fail(format!("failed to read {path}: {e}")),
         }
     }
 }
 
-/// `tempopr convert <in> <out>`: converts between the text and binary
-/// event formats (directions inferred from extensions).
-pub fn convert(input: &str, output: &str) {
-    let log = load(input);
+/// `tempopr convert <in> <out> [--lenient]`: converts between the text and
+/// binary event formats (directions inferred from extensions).
+pub fn convert(input: &str, output: &str, lenient: bool) {
+    let log = load(input, lenient);
     let result = if output.ends_with(".bin") {
         io::write_binary_file(&log, output)
     } else {
         io::write_text_file(&log, output)
     };
     if let Err(e) = result {
-        eprintln!("failed to write {output}: {e}");
-        std::process::exit(1);
+        fail(format!("failed to write {output}: {e}"));
     }
     println!(
         "wrote {} events over {} vertices to {output}",
@@ -45,13 +56,20 @@ pub fn convert(input: &str, output: &str) {
 
 /// `tempopr pagerank <file-or-dataset> --delta-days D --sw-days S`:
 /// postmortem PageRank time series with the top vertex per window.
-pub fn pagerank(source: &str, delta_days: i64, sw_days: i64, top: usize, opts: &Opts) {
+pub fn pagerank(
+    source: &str,
+    delta_days: i64,
+    sw_days: i64,
+    top: usize,
+    lenient: bool,
+    opts: &Opts,
+) {
     let log = match parse_dataset(source) {
         Some(d) => d.spec().generate(opts.scale, opts.seed),
-        None => load(source),
+        None => load(source, lenient),
     };
-    let mut spec = WindowSpec::covering(&log, delta_days * DAY, sw_days * DAY)
-        .expect("valid window parameters");
+    let spec_result = WindowSpec::covering(&log, delta_days * DAY, sw_days * DAY);
+    let mut spec = spec_result.unwrap_or_else(|e| fail(format!("window parameters: {e}")));
     if opts.max_windows > 0 {
         spec.count = spec.count.min(opts.max_windows);
     }
@@ -60,8 +78,10 @@ pub fn pagerank(source: &str, delta_days: i64, sw_days: i64, top: usize, opts: &
         threads: opts.threads,
         ..tempopr_core::suggest(&log, &spec, opts.threads)
     };
-    let engine = PostmortemEngine::new(&log, spec, cfg).expect("engine");
+    let engine = PostmortemEngine::new(&log, spec, cfg)
+        .unwrap_or_else(|e| fail(format!("engine build: {e}")));
     let out = engine.run();
+    warn_if_degraded("postmortem", &out);
     println!(
         "# postmortem pagerank: {} events, {} vertices, {} windows (delta={}d, sw={}d)",
         log.len(),
@@ -75,7 +95,13 @@ pub fn pagerank(source: &str, delta_days: i64, sw_days: i64, top: usize, opts: &
         "window", "vertices", "iters"
     );
     for w in &out.windows {
-        let ranks = w.ranks.as_ref().unwrap();
+        if let tempopr_core::WindowStatus::Failed { diagnostic } = &w.status {
+            println!("{:<8} FAILED: {diagnostic}", w.window);
+            continue;
+        }
+        let Some(ranks) = w.ranks.as_ref() else {
+            continue;
+        };
         let mut pairs: Vec<(u32, f64)> = ranks
             .vertices
             .iter()
@@ -100,13 +126,13 @@ pub fn pagerank(source: &str, delta_days: i64, sw_days: i64, top: usize, opts: &
 
 /// `tempopr structure <file-or-dataset> --delta-days D --sw-days S`:
 /// per-window structure metrics (components, k-core, triangles).
-pub fn structure(source: &str, delta_days: i64, sw_days: i64, opts: &Opts) {
+pub fn structure(source: &str, delta_days: i64, sw_days: i64, lenient: bool, opts: &Opts) {
     let log = match parse_dataset(source) {
         Some(d) => d.spec().generate(opts.scale, opts.seed),
-        None => load(source),
+        None => load(source, lenient),
     };
-    let mut spec = WindowSpec::covering(&log, delta_days * DAY, sw_days * DAY)
-        .expect("valid window parameters");
+    let spec_result = WindowSpec::covering(&log, delta_days * DAY, sw_days * DAY);
+    let mut spec = spec_result.unwrap_or_else(|e| fail(format!("window parameters: {e}")));
     if opts.max_windows > 0 {
         spec.count = spec.count.min(opts.max_windows);
     }
@@ -115,7 +141,7 @@ pub fn structure(source: &str, delta_days: i64, sw_days: i64, opts: &Opts) {
         spec,
         &tempopr_analytics::StructureConfig::default(),
     )
-    .expect("analysis");
+    .unwrap_or_else(|e| fail(format!("analysis: {e}")));
     println!(
         "# temporal structure: {} events, {} windows (delta={}d, sw={}d)",
         log.len(),
@@ -143,10 +169,10 @@ pub fn structure(source: &str, delta_days: i64, sw_days: i64, opts: &Opts) {
             s.edges,
             s.max_degree,
             s.mean_degree,
-            s.components.unwrap(),
-            s.largest_component.unwrap(),
-            s.degeneracy.unwrap(),
-            s.triangles.unwrap(),
+            s.components.unwrap_or(0),
+            s.largest_component.unwrap_or(0),
+            s.degeneracy.unwrap_or(0),
+            s.triangles.unwrap_or(0),
         );
     }
 }

@@ -20,6 +20,9 @@
 //!   all      everything above, in order
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod common;
 mod experiments;
 
@@ -34,11 +37,13 @@ fn main() {
     }
     let cmd = args[0].clone();
     if cmd == "convert" {
-        if args.len() != 3 {
-            eprintln!("usage: tempopr convert <input> <output>");
+        let lenient = args[1..].iter().any(|a| a == "--lenient");
+        let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+        if paths.len() != 2 || args.len() - 1 != paths.len() + usize::from(lenient) {
+            eprintln!("usage: tempopr convert <input> <output> [--lenient]");
             std::process::exit(2);
         }
-        tools::convert(&args[1], &args[2]);
+        tools::convert(paths[0], paths[1], lenient);
         return;
     }
     let (opts, dataset, extra) = match parse_flags(&args[1..]) {
@@ -56,6 +61,7 @@ struct ToolFlags {
     delta_days: i64,
     sw_days: i64,
     top: usize,
+    lenient: bool,
 }
 
 impl Default for ToolFlags {
@@ -64,6 +70,7 @@ impl Default for ToolFlags {
             delta_days: 90,
             sw_days: 30,
             top: 3,
+            lenient: false,
         }
     }
 }
@@ -82,11 +89,18 @@ fn run_experiment(cmd: &str, opts: &Opts, dataset: Option<&str>, extra: &ToolFla
         "fig12" => fig12::run(opts),
         "structure" => {
             let src = dataset.unwrap_or("wikitalk");
-            tools::structure(src, extra.delta_days, extra.sw_days, opts);
+            tools::structure(src, extra.delta_days, extra.sw_days, extra.lenient, opts);
         }
         "pagerank" => {
             let src = dataset.unwrap_or("wikitalk");
-            tools::pagerank(src, extra.delta_days, extra.sw_days, extra.top, opts);
+            tools::pagerank(
+                src,
+                extra.delta_days,
+                extra.sw_days,
+                extra.top,
+                extra.lenient,
+                opts,
+            );
         }
         "all" => {
             for c in [
@@ -156,6 +170,10 @@ fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), Str
                 extra.top = value(i)?.parse().map_err(|e| format!("bad --top: {e}"))?;
                 i += 2;
             }
+            "--lenient" => {
+                extra.lenient = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -176,7 +194,7 @@ fn print_help() {
          [--max-windows N] [--dataset NAME]\n\n\
          experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all\n\
          tools:       pagerank | structure  (--source <file-or-dataset> \
-         --delta-days D --sw-days S [--top K]); convert <in> <out>\n\
+         --delta-days D --sw-days S [--top K] [--lenient]); convert <in> <out> [--lenient]\n\
          datasets:    enron epinions hepth youtube wikitalk stackoverflow askubuntu\n\n\
          --scale      dataset size relative to the paper's (default 0.01)\n\
          --seed       synthesis seed (default 42)\n\
@@ -206,6 +224,13 @@ mod tests {
         assert_eq!(extra.delta_days, 90);
         assert_eq!(extra.sw_days, 30);
         assert_eq!(extra.top, 3);
+        assert!(!extra.lenient);
+    }
+
+    #[test]
+    fn lenient_flag_parses() {
+        let (_, _, extra) = flags(&["--lenient"]).unwrap();
+        assert!(extra.lenient);
     }
 
     #[test]

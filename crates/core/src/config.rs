@@ -1,7 +1,48 @@
 //! Configuration of a postmortem analysis run.
 
 use tempopr_graph::multiwindow::PartitionStrategy;
-use tempopr_kernel::{PrConfig, Scheduler};
+use tempopr_kernel::{FaultKind, PrConfig, Scheduler};
+
+/// A deterministic fault targeted at one window of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowFault {
+    /// Global window index the fault fires in.
+    pub window: usize,
+    /// What goes wrong inside that window's kernel.
+    pub fault: FaultKind,
+}
+
+/// A seeded, reproducible set of injected faults (empty by default and
+/// zero-cost when empty): each entry poisons exactly one window, and the
+/// same plan against the same input reproduces the same failure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The injected faults, at most one per window (later entries for the
+    /// same window are ignored).
+    pub faults: Vec<WindowFault>,
+}
+
+impl FaultPlan {
+    /// A plan with a single fault.
+    pub fn single(window: usize, fault: FaultKind) -> Self {
+        FaultPlan {
+            faults: vec![WindowFault { window, fault }],
+        }
+    }
+
+    /// Whether no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault targeted at `window`, if any.
+    pub fn fault_for(&self, window: usize) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.window == window)
+            .map(|f| f.fault)
+    }
+}
 
 /// Which level(s) of parallelism drive the run (paper §4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,7 +96,7 @@ pub enum RetainMode {
 }
 
 /// Full configuration of a postmortem run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PostmortemConfig {
     /// Number of multi-window graphs `Y` (clamped to the window count).
     /// `0` selects automatically from the window-overlap ratio and the
@@ -87,6 +128,10 @@ pub struct PostmortemConfig {
     pub threads: usize,
     /// Output retention.
     pub retain: RetainMode,
+    /// Deterministic fault injection plan (testing only). Empty by
+    /// default; when empty, the run takes exactly the fault-free code
+    /// paths and ranks are unchanged bit for bit.
+    pub faults: FaultPlan,
 }
 
 impl Default for PostmortemConfig {
@@ -103,6 +148,7 @@ impl Default for PostmortemConfig {
             use_window_index: true,
             threads: 0,
             retain: RetainMode::Full,
+            faults: FaultPlan::default(),
         }
     }
 }

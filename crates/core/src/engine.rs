@@ -19,15 +19,32 @@
 //!   previous batch (§4.4).
 //! - Partial initialization never crosses a multi-window boundary (§4.2):
 //!   vertex numberings differ between parts.
+//!
+//! ## Failure semantics
+//! Every window runs to a terminal [`WindowStatus`]. A kernel that errors
+//! or fails to converge escalates through the recovery ladder — full-init
+//! retry for warm-started windows, then the dense Eq. 2 oracle for small
+//! windows — and a kernel that *panics* is caught ([`std::panic::catch_unwind`])
+//! and isolated: the poisoned window reports `Failed` with a diagnostic,
+//! its workspace is discarded, and every other window completes normally.
+//! The run output carries a `degraded` flag; no failure is silent and no
+//! failure aborts the run.
 
 use crate::config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
-use crate::result::{hash01, RunOutput, SparseRanks, WindowOutput};
-use tempopr_graph::{EventLog, GraphError, MultiWindowGraph, MultiWindowSet, WindowSpec};
+use crate::error::EngineError;
+use crate::result::{hash01, RecoveryKind, RunOutput, SparseRanks, WindowOutput, WindowStatus};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tempopr_graph::{EventLog, MultiWindowGraph, MultiWindowSet, TemporalCsr, TimeRange, WindowSpec};
 use tempopr_kernel::{
     pagerank_batch, pagerank_batch_indexed, pagerank_window, pagerank_window_blocking,
-    pagerank_window_blocking_indexed, pagerank_window_indexed, thread_pool, BlockingWorkspace,
-    Init, PrStats, PrWorkspace, Scheduler, SpmmWorkspace,
+    pagerank_window_blocking_indexed, pagerank_window_indexed, solve_pagerank_exact, thread_pool,
+    BlockingWorkspace, Init, KernelError, NumericPolicy, PrConfig, PrHealth, PrStats, PrWorkspace,
+    Scheduler, SpmmWorkspace,
 };
+
+/// Largest active set the dense Eq. 2 oracle accepts as a recovery
+/// fallback — the solve is `O(n³)`, so it only rescues small windows.
+pub const MAX_ORACLE_ACTIVE: usize = 512;
 
 /// A ready-to-run postmortem analysis: the multi-window representation plus
 /// the execution configuration.
@@ -47,7 +64,7 @@ impl PostmortemEngine {
         log: &EventLog,
         spec: WindowSpec,
         cfg: PostmortemConfig,
-    ) -> Result<Self, GraphError> {
+    ) -> Result<Self, EngineError> {
         let parts = if cfg.num_multiwindows == 0 {
             auto_multiwindows(&spec, cfg.kernel)
         } else {
@@ -55,7 +72,7 @@ impl PostmortemEngine {
         };
         let set = MultiWindowSet::build(log, spec, parts, cfg.symmetric, cfg.partition)?;
         let pool = if cfg.threads > 0 {
-            Some(thread_pool(cfg.threads))
+            Some(thread_pool(cfg.threads)?)
         } else {
             None
         };
@@ -79,12 +96,17 @@ impl PostmortemEngine {
 
     /// Computes PageRank for every window and returns the per-window
     /// outputs in window order.
+    ///
+    /// This never fails as a whole: windows that cannot produce valid
+    /// ranks (even through the recovery ladder) are reported as
+    /// [`WindowStatus::Failed`] and the output's `degraded` flag is set.
     pub fn run(&self) -> RunOutput {
         let mut out = match &self.pool {
             Some(p) => p.install(|| self.run_inner()),
             None => self.run_inner(),
         };
         out.windows.sort_by_key(|w| w.window);
+        out.finalize_status();
         out.assert_complete(self.spec().count);
         out
     }
@@ -95,7 +117,166 @@ impl PostmortemEngine {
             KernelKind::SpMM { lanes } => self.run_spmm(lanes),
             KernelKind::PushBlocking => self.run_blocking(),
         };
-        RunOutput { windows }
+        RunOutput {
+            windows,
+            degraded: false, // recomputed by finalize_status
+        }
+    }
+
+    // --- Recovery ladder --------------------------------------------------
+
+    /// Drives one window's kernel attempts to a terminal status.
+    ///
+    /// `kernel(false)` runs as configured, `kernel(true)` forces uniform
+    /// initialization; `oracle()` solves the window exactly (or `None`
+    /// when it is too large). Returns the stats, the terminal status, and
+    /// `Some(ranks)` when the final ranks did *not* come from the kernel
+    /// workspace (oracle recovery, or zeros for a failed window).
+    ///
+    /// Ladder: converged → done (status from the kernel's health record);
+    /// error / non-convergence → full-init retry (warm starts only) →
+    /// dense oracle → `Failed`. A caught panic fails immediately — the
+    /// workspace is not trustworthy afterwards, so the caller must discard
+    /// it whenever the returned status is `Failed`. Under
+    /// [`NumericPolicy::Fail`] no recovery is attempted at all.
+    fn recover_window<F, O>(
+        &self,
+        was_partial: bool,
+        n_local: usize,
+        mut kernel: F,
+        oracle: O,
+    ) -> (PrStats, WindowStatus, Option<Vec<f64>>)
+    where
+        F: FnMut(bool) -> Result<PrStats, KernelError>,
+        O: FnOnce() -> Option<Result<Vec<f64>, KernelError>>,
+    {
+        let max_iters = self.cfg.pr.max_iters;
+        let fail_fast = self.cfg.pr.guard.policy == NumericPolicy::Fail;
+        let settle = |stats: PrStats, via: Option<RecoveryKind>| {
+            let status = match via {
+                Some(v) => WindowStatus::Recovered { via: v },
+                None if stats.health.is_clean() => WindowStatus::Ok,
+                None => WindowStatus::Recovered {
+                    via: RecoveryKind::GuardIntervention,
+                },
+            };
+            (stats, status, None)
+        };
+        // Attempt 1: as configured.
+        let mut diagnostic = match catch_unwind(AssertUnwindSafe(|| kernel(false))) {
+            Ok(Ok(stats)) if stats.converged || max_iters == 0 => return settle(stats, None),
+            Ok(Ok(_)) => format!("did not converge within {max_iters} iterations"),
+            Ok(Err(e)) => e.to_string(),
+            Err(p) => {
+                return (
+                    PrStats::empty(),
+                    WindowStatus::Failed {
+                        diagnostic: format!("kernel panicked: {}", panic_message(&p)),
+                    },
+                    Some(vec![0.0; n_local]),
+                );
+            }
+        };
+        if !fail_fast {
+            // Attempt 2: recompute from full initialization (warm starts
+            // only — a cold start already was fully initialized).
+            if was_partial {
+                match catch_unwind(AssertUnwindSafe(|| kernel(true))) {
+                    Ok(Ok(stats)) if stats.converged => {
+                        return settle(stats, Some(RecoveryKind::FullInitRetry));
+                    }
+                    Ok(Ok(_)) => {
+                        diagnostic = format!("{diagnostic}; full-init retry did not converge");
+                    }
+                    Ok(Err(e)) => diagnostic = format!("{diagnostic}; full-init retry: {e}"),
+                    Err(p) => {
+                        return (
+                            PrStats::empty(),
+                            WindowStatus::Failed {
+                                diagnostic: format!(
+                                    "{diagnostic}; full-init retry panicked: {}",
+                                    panic_message(&p)
+                                ),
+                            },
+                            Some(vec![0.0; n_local]),
+                        );
+                    }
+                }
+            }
+            // Attempt 3: the dense Eq. 2 oracle, immune to iteration-level
+            // faults (it recomputes degrees and does not iterate).
+            match oracle() {
+                Some(Ok(x)) => {
+                    let active = x.iter().filter(|&&v| v > 0.0).count();
+                    let stats = PrStats {
+                        iterations: 0,
+                        converged: true,
+                        active_vertices: active,
+                        health: PrHealth::default(),
+                    };
+                    return (
+                        stats,
+                        WindowStatus::Recovered {
+                            via: RecoveryKind::DenseOracle,
+                        },
+                        Some(x),
+                    );
+                }
+                Some(Err(e)) => diagnostic = format!("{diagnostic}; dense oracle: {e}"),
+                None => diagnostic = format!("{diagnostic}; window too large for the dense oracle"),
+            }
+        }
+        (
+            PrStats::empty(),
+            WindowStatus::Failed { diagnostic },
+            Some(vec![0.0; n_local]),
+        )
+    }
+
+    /// Computes one window with the SpMV kernel through the full recovery
+    /// ladder, returning its final local rank vector.
+    fn single_window(
+        &self,
+        part: &MultiWindowGraph,
+        w: usize,
+        prev: Option<&[f64]>,
+        inner: Option<&Scheduler>,
+        ws: &mut PrWorkspace,
+    ) -> (PrStats, WindowStatus, Vec<f64>) {
+        let range = self.spec().window(w);
+        let (pull, push) = (part.pull_tcsr(), part.tcsr());
+        let prcfg = PrConfig {
+            fault: self.cfg.faults.fault_for(w),
+            ..self.cfg.pr
+        };
+        let n_local = pull.num_vertices();
+        let warm = prev.is_some();
+        let (stats, status, override_ranks) = {
+            let ws = &mut *ws;
+            let kernel = move |uniform: bool| {
+                let init = match prev {
+                    Some(p) if !uniform => Init::Partial(p),
+                    _ => Init::Uniform,
+                };
+                if self.cfg.use_window_index {
+                    let view = part.index_view(w);
+                    pagerank_window_indexed(pull, push, &view, init, &prcfg, inner, ws)
+                } else {
+                    pagerank_window(pull, push, range, init, &prcfg, inner, ws)
+                }
+            };
+            let oracle = || oracle_for(pull, push, range, &self.cfg.pr);
+            self.recover_window(warm, n_local, kernel, oracle)
+        };
+        if !status.is_valid() {
+            // A panic may have left the workspace inconsistent.
+            *ws = PrWorkspace::default();
+        }
+        let ranks = match override_ranks {
+            Some(x) => x,
+            None => ws.ranks().to_vec(),
+        };
+        (stats, status, ranks)
     }
 
     // --- SpMV path ------------------------------------------------------
@@ -133,24 +314,19 @@ impl PostmortemEngine {
         for w in windows {
             let part_idx = self.part_index_of(w);
             let part = &self.set.graphs()[part_idx];
-            let range = self.spec().window(w);
-            let init = if self.cfg.partial_init && prev_part == Some(part_idx) {
-                Init::Partial(&prev)
+            let warm = self.cfg.partial_init && prev_part == Some(part_idx);
+            let (stats, status, ranks) =
+                self.single_window(part, w, warm.then_some(prev.as_slice()), inner, &mut ws);
+            let valid = status.is_valid();
+            out.push(self.make_output(w, part, stats, &ranks, status));
+            // Keep this window's ranks as the next window's previous
+            // vector; after a failed window the next one starts cold.
+            if valid {
+                prev = ranks;
+                prev_part = Some(part_idx);
             } else {
-                Init::Uniform
-            };
-            let (pull, push) = (part.pull_tcsr(), part.tcsr());
-            let stats = if self.cfg.use_window_index {
-                let view = part.index_view(w);
-                pagerank_window_indexed(pull, push, &view, init, &self.cfg.pr, inner, &mut ws)
-            } else {
-                pagerank_window(pull, push, range, init, &self.cfg.pr, inner, &mut ws)
-            };
-            out.push(self.make_output(w, part, stats, ws.ranks()));
-            // Keep this window's ranks as the next window's previous vector.
-            prev.clear();
-            prev.extend_from_slice(ws.ranks());
-            prev_part = Some(part_idx);
+                prev_part = None;
+            }
         }
         out
     }
@@ -179,22 +355,47 @@ impl PostmortemEngine {
             let part_idx = self.part_index_of(w);
             let part = &self.set.graphs()[part_idx];
             let range = self.spec().window(w);
-            let init = if self.cfg.partial_init && prev_part == Some(part_idx) {
-                Init::Partial(&prev)
-            } else {
-                Init::Uniform
-            };
+            let warm = self.cfg.partial_init && prev_part == Some(part_idx);
             let (pull, push) = (part.pull_tcsr(), part.tcsr());
-            let stats = if self.cfg.use_window_index {
-                let view = part.index_view(w);
-                pagerank_window_blocking_indexed(pull, push, &view, init, &self.cfg.pr, &mut ws)
-            } else {
-                pagerank_window_blocking(pull, push, range, init, &self.cfg.pr, &mut ws)
+            let prcfg = PrConfig {
+                fault: self.cfg.faults.fault_for(w),
+                ..self.cfg.pr
             };
-            out.push(self.make_output(w, part, stats, &ws.pr.x));
-            prev.clear();
-            prev.extend_from_slice(&ws.pr.x);
-            prev_part = Some(part_idx);
+            let n_local = pull.num_vertices();
+            let (stats, status, override_ranks) = {
+                let ws = &mut ws;
+                let prev_ref = &prev;
+                let kernel = move |uniform: bool| {
+                    let init = if warm && !uniform {
+                        Init::Partial(prev_ref)
+                    } else {
+                        Init::Uniform
+                    };
+                    if self.cfg.use_window_index {
+                        let view = part.index_view(w);
+                        pagerank_window_blocking_indexed(pull, push, &view, init, &prcfg, ws)
+                    } else {
+                        pagerank_window_blocking(pull, push, range, init, &prcfg, ws)
+                    }
+                };
+                let oracle = || oracle_for(pull, push, range, &self.cfg.pr);
+                self.recover_window(warm, n_local, kernel, oracle)
+            };
+            if !status.is_valid() {
+                ws = BlockingWorkspace::default();
+            }
+            let valid = status.is_valid();
+            let ranks: Vec<f64> = match override_ranks {
+                Some(x) => x,
+                None => ws.pr.x.clone(),
+            };
+            out.push(self.make_output(w, part, stats, &ranks, status));
+            if valid {
+                prev = ranks;
+                prev_part = Some(part_idx);
+            } else {
+                prev_part = None;
+            }
         }
         out
     }
@@ -233,6 +434,11 @@ impl PostmortemEngine {
     /// kernel, using the paper's region scheduling: windows are split into
     /// `lanes` contiguous regions and batch `j` processes the `j`-th window
     /// of each region, partially initialized from batch `j-1`.
+    ///
+    /// Windows with a planned fault are routed through the per-window
+    /// SpMV path instead (the batch kernel cannot target a fault at one
+    /// window), and lanes that fail or stall inside a batch escalate
+    /// individually — a poisoned lane never drags its batch-mates down.
     fn spmm_part(
         &self,
         part_idx: usize,
@@ -253,6 +459,7 @@ impl PostmortemEngine {
         let region = nw.div_ceil(vl);
         let mut prev: Vec<Option<Vec<f64>>> = vec![None; vl];
         let mut ws = SpmmWorkspace::default();
+        let mut pr_ws = PrWorkspace::default();
         let mut out: Vec<WindowOutput> = Vec::with_capacity(nw);
         for j in 0..region {
             // Lane r handles part-local window r*region + j, if it exists.
@@ -266,16 +473,29 @@ impl PostmortemEngine {
             if lanes_now.is_empty() {
                 break;
             }
-            let ranges: Vec<_> = lanes_now
-                .iter()
-                .map(|&lw| self.spec().window(w0 + lw))
-                .collect();
-            let stats = {
-                let inits: Vec<Init<'_>> = lanes_now
+            // Faulted windows leave the batch and run individually through
+            // the full recovery ladder.
+            let (clean, faulted): (Vec<usize>, Vec<usize>) = lanes_now
+                .into_iter()
+                .partition(|&lw| self.cfg.faults.fault_for(w0 + lw).is_none());
+            for &lw in &faulted {
+                let r = lw / region;
+                let warm = self.cfg.partial_init && j > 0;
+                let prev_ref = if warm { prev[r].as_deref() } else { None };
+                let (stats, status, ranks) =
+                    self.single_window(part, w0 + lw, prev_ref, inner, &mut pr_ws);
+                prev[r] = status.is_valid().then(|| ranks.clone());
+                out.push(self.make_output(w0 + lw, part, stats, &ranks, status));
+            }
+            if clean.is_empty() {
+                continue;
+            }
+            let ranges: Vec<_> = clean.iter().map(|&lw| self.spec().window(w0 + lw)).collect();
+            let batch = {
+                let inits: Vec<Init<'_>> = clean
                     .iter()
-                    .enumerate()
-                    .map(|(i, _)| {
-                        let r = lanes_now[i] / region;
+                    .map(|&lw| {
+                        let r = lw / region;
                         match (&prev[r], self.cfg.partial_init && j > 0) {
                             (Some(p), true) => Init::Partial(p),
                             _ => Init::Uniform,
@@ -283,19 +503,70 @@ impl PostmortemEngine {
                     })
                     .collect();
                 let (pull, push) = (part.pull_tcsr(), part.tcsr());
-                if self.cfg.use_window_index {
-                    let index = part.window_index();
-                    let views: Vec<_> = lanes_now.iter().map(|&lw| index.view(lw)).collect();
-                    pagerank_batch_indexed(pull, push, &views, &inits, &self.cfg.pr, inner, &mut ws)
-                } else {
-                    pagerank_batch(pull, push, &ranges, &inits, &self.cfg.pr, inner, &mut ws)
-                }
+                catch_unwind(AssertUnwindSafe(|| {
+                    if self.cfg.use_window_index {
+                        let index = part.window_index();
+                        let views: Vec<_> = clean.iter().map(|&lw| index.view(lw)).collect();
+                        pagerank_batch_indexed(
+                            pull,
+                            push,
+                            &views,
+                            &inits,
+                            &self.cfg.pr,
+                            inner,
+                            &mut ws,
+                        )
+                    } else {
+                        pagerank_batch(pull, push, &ranges, &inits, &self.cfg.pr, inner, &mut ws)
+                    }
+                }))
             };
-            let nlanes = lanes_now.len();
-            for (i, &lw) in lanes_now.iter().enumerate() {
-                let lane = ws.lane(i, nlanes);
-                out.push(self.make_output(w0 + lw, part, stats[i], &lane));
-                prev[lw / region] = Some(lane);
+            let nlanes = clean.len();
+            match batch {
+                Ok(Ok(stats)) => {
+                    for (i, &lw) in clean.iter().enumerate() {
+                        let w = w0 + lw;
+                        let st = stats[i];
+                        if st.converged || self.cfg.pr.max_iters == 0 {
+                            let status = if st.health.is_clean() {
+                                WindowStatus::Ok
+                            } else {
+                                WindowStatus::Recovered {
+                                    via: RecoveryKind::GuardIntervention,
+                                }
+                            };
+                            let lane = ws.lane(i, nlanes);
+                            out.push(self.make_output(w, part, st, &lane, status));
+                            prev[lw / region] = Some(lane);
+                        } else {
+                            // Per-lane escalation: recompute this window
+                            // alone through the recovery ladder.
+                            let r = lw / region;
+                            let warm = self.cfg.partial_init && j > 0;
+                            let prev_ref = if warm { prev[r].as_deref() } else { None };
+                            let (stats2, status, ranks) =
+                                self.single_window(part, w, prev_ref, inner, &mut pr_ws);
+                            prev[r] = status.is_valid().then(|| ranks.clone());
+                            out.push(self.make_output(w, part, stats2, &ranks, status));
+                        }
+                    }
+                }
+                // The whole batch failed (kernel error or panic): isolate
+                // by recomputing every window individually.
+                batch_failure => {
+                    if batch_failure.is_err() {
+                        ws = SpmmWorkspace::default();
+                    }
+                    for &lw in &clean {
+                        let r = lw / region;
+                        let warm = self.cfg.partial_init && j > 0;
+                        let prev_ref = if warm { prev[r].as_deref() } else { None };
+                        let (stats, status, ranks) =
+                            self.single_window(part, w0 + lw, prev_ref, inner, &mut pr_ws);
+                        prev[r] = status.is_valid().then(|| ranks.clone());
+                        out.push(self.make_output(w0 + lw, part, stats, &ranks, status));
+                    }
+                }
             }
         }
         out
@@ -315,6 +586,7 @@ impl PostmortemEngine {
         part: &MultiWindowGraph,
         stats: PrStats,
         local_ranks: &[f64],
+        status: WindowStatus,
     ) -> WindowOutput {
         let map = part.vertex_map();
         let fingerprint = local_ranks
@@ -332,7 +604,33 @@ impl PostmortemEngine {
             stats,
             fingerprint,
             ranks,
+            status,
         }
+    }
+}
+
+/// Exact-solve fallback for one window, or `None` when its active set is
+/// too large for the dense `O(n³)` oracle.
+fn oracle_for(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    range: TimeRange,
+    cfg: &PrConfig,
+) -> Option<Result<Vec<f64>, KernelError>> {
+    match solve_pagerank_exact(pull, push, range, cfg, MAX_ORACLE_ACTIVE) {
+        Err(KernelError::ActiveSetTooLarge { .. }) => None,
+        r => Some(r),
+    }
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -383,6 +681,7 @@ mod tests {
             alpha: 0.15,
             tol: 1e-12,
             max_iters: 500,
+            ..PrConfig::default()
         }
     }
 

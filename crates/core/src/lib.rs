@@ -24,15 +24,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod advisor;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod offline;
 pub mod result;
 
 pub use advisor::{suggest, suggest_for_profile, suggested_multiwindows, WorkloadProfile};
-pub use config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
+pub use config::{FaultPlan, KernelKind, ParallelMode, PostmortemConfig, RetainMode, WindowFault};
 pub use engine::{auto_multiwindows, PostmortemEngine};
+pub use error::{EngineError, Phase};
 pub use offline::{run_offline, OfflineConfig};
-pub use result::{RunOutput, SparseRanks, WindowOutput};
+pub use result::{RecoveryKind, RunOutput, SparseRanks, WindowOutput, WindowStatus};

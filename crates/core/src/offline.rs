@@ -8,9 +8,11 @@
 //! sliced by binary search, then deduplicated into a CSR.
 
 use crate::config::RetainMode;
-use crate::result::{RunOutput, SparseRanks, WindowOutput};
+use crate::error::EngineError;
+use crate::result::{RunOutput, SparseRanks, WindowOutput, WindowStatus};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use tempopr_graph::{Csr, EventLog, WindowSpec};
-use tempopr_kernel::{pagerank_csr, thread_pool, Init, PrConfig, PrWorkspace, Scheduler};
+use tempopr_kernel::{pagerank_csr, thread_pool, Init, PrConfig, PrStats, PrWorkspace, Scheduler};
 
 /// Configuration of an offline run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,19 +57,28 @@ impl Default for OfflineConfig {
 ///     8,
 /// ).unwrap();
 /// let spec = WindowSpec::covering(&log, 20, 10).unwrap();
-/// let out = run_offline(&log, spec, &OfflineConfig::default());
+/// let out = run_offline(&log, spec, &OfflineConfig::default()).unwrap();
 /// assert_eq!(out.windows.len(), spec.count);
 /// ```
-pub fn run_offline(log: &EventLog, spec: WindowSpec, cfg: &OfflineConfig) -> RunOutput {
+///
+/// Errors only on setup (an unbuildable thread pool); per-window kernel
+/// failures are contained as [`WindowStatus::Failed`] entries and set the
+/// output's `degraded` flag, exactly like the postmortem engine.
+pub fn run_offline(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &OfflineConfig,
+) -> Result<RunOutput, EngineError> {
     let inner = || run_offline_inner(log, spec, cfg);
     let mut out = if cfg.threads > 0 {
-        thread_pool(cfg.threads).install(inner)
+        thread_pool(cfg.threads)?.install(inner)
     } else {
         inner()
     };
     out.windows.sort_by_key(|w| w.window);
+    out.finalize_status();
     out.assert_complete(spec.count);
-    out
+    Ok(out)
 }
 
 fn run_offline_inner(log: &EventLog, spec: WindowSpec, cfg: &OfflineConfig) -> RunOutput {
@@ -91,7 +102,10 @@ fn run_offline_inner(log: &EventLog, spec: WindowSpec, cfg: &OfflineConfig) -> R
             .map(|w| offline_window(log, spec, cfg, w, Some(&cfg.scheduler), &mut ws))
             .collect()
     };
-    RunOutput { windows }
+    RunOutput {
+        windows,
+        degraded: false, // recomputed by finalize_status
+    }
 }
 
 fn offline_window(
@@ -107,18 +121,66 @@ fn offline_window(
     // The per-window construction the offline model pays for: a fresh CSR
     // over the whole universe.
     let csr = Csr::from_events(log.num_vertices(), events, cfg.symmetric);
-    let stats = if cfg.symmetric {
-        pagerank_csr(&csr, &csr, Init::Uniform, &cfg.pr, inner, ws)
-    } else {
-        let pull = csr.transpose();
-        pagerank_csr(&pull, &csr, Init::Uniform, &cfg.pr, inner, ws)
+    // Offline windows always start from uniform init, so the engine's
+    // full-init retry is meaningless here; a kernel error, panic, or
+    // non-convergence simply fails the window (the run continues and the
+    // output is flagged degraded).
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if cfg.symmetric {
+            pagerank_csr(&csr, &csr, Init::Uniform, &cfg.pr, inner, ws)
+        } else {
+            let pull = csr.transpose();
+            pagerank_csr(&pull, &csr, Init::Uniform, &cfg.pr, inner, ws)
+        }
+    }));
+    let (stats, status) = match attempt {
+        Ok(Ok(stats)) if stats.converged || cfg.pr.max_iters == 0 => {
+            let status = if stats.health.is_clean() {
+                WindowStatus::Ok
+            } else {
+                WindowStatus::Recovered {
+                    via: crate::result::RecoveryKind::GuardIntervention,
+                }
+            };
+            (stats, status)
+        }
+        Ok(Ok(stats)) => (
+            stats,
+            WindowStatus::Failed {
+                diagnostic: format!(
+                    "did not converge within {} iterations",
+                    cfg.pr.max_iters
+                ),
+            },
+        ),
+        Ok(Err(e)) => (
+            PrStats::empty(),
+            WindowStatus::Failed {
+                diagnostic: e.to_string(),
+            },
+        ),
+        Err(_) => {
+            // The workspace may hold partial state; discard it.
+            *ws = PrWorkspace::default();
+            (
+                PrStats::empty(),
+                WindowStatus::Failed {
+                    diagnostic: "kernel panicked".to_string(),
+                },
+            )
+        }
     };
-    let sparse = SparseRanks::from_dense(ws.ranks());
+    let sparse = if status.is_valid() {
+        SparseRanks::from_dense(ws.ranks())
+    } else {
+        SparseRanks::from_dense(&[])
+    };
     let fingerprint = sparse.fingerprint();
     WindowOutput {
         window: w,
         stats,
         fingerprint,
+        status,
         ranks: match cfg.retain {
             RetainMode::Full => Some(sparse),
             RetainMode::Summary => None,
@@ -149,6 +211,7 @@ mod tests {
                 alpha: 0.15,
                 tol: 1e-12,
                 max_iters: 500,
+                ..PrConfig::default()
             },
             ..Default::default()
         }
@@ -159,7 +222,7 @@ mod tests {
         use tempopr_kernel::reference_pagerank;
         let log = test_log();
         let spec = WindowSpec::covering(&log, 50, 30).unwrap();
-        let out = run_offline(&log, spec, &tight());
+        let out = run_offline(&log, spec, &tight()).unwrap();
         for w in 0..spec.count {
             let range = spec.window(w);
             let mut edges = Vec::new();
@@ -180,7 +243,7 @@ mod tests {
     fn parallel_and_sequential_agree() {
         let log = test_log();
         let spec = WindowSpec::covering(&log, 50, 30).unwrap();
-        let par = run_offline(&log, spec, &tight());
+        let par = run_offline(&log, spec, &tight()).unwrap();
         let seq = run_offline(
             &log,
             spec,
@@ -188,7 +251,8 @@ mod tests {
                 parallel_windows: false,
                 ..tight()
             },
-        );
+        )
+        .unwrap();
         for (a, b) in par.windows.iter().zip(seq.windows.iter()) {
             assert!((a.fingerprint - b.fingerprint).abs() < 1e-9);
             assert_eq!(a.stats.active_vertices, b.stats.active_vertices);
@@ -206,7 +270,8 @@ mod tests {
                 retain: RetainMode::Summary,
                 ..tight()
             },
-        );
+        )
+        .unwrap();
         assert!(out.windows.iter().all(|w| w.ranks.is_none()));
         assert!(out.windows.iter().any(|w| w.fingerprint != 0.0));
     }
@@ -222,7 +287,8 @@ mod tests {
                 threads: 2,
                 ..tight()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(out.windows.len(), spec.count);
     }
 }

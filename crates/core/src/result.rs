@@ -111,6 +111,55 @@ pub fn hash01(v: u32) -> f64 {
     (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// How the engine recovered a window that did not complete cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// The kernel's in-iteration guards intervened (renormalization or
+    /// uniform restart) and the window still converged.
+    GuardIntervention,
+    /// A warm-started window was recomputed from full (uniform)
+    /// initialization.
+    FullInitRetry,
+    /// The window was solved exactly by the dense Eq. 2 oracle.
+    DenseOracle,
+}
+
+impl std::fmt::Display for RecoveryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RecoveryKind::GuardIntervention => "guard intervention",
+            RecoveryKind::FullInitRetry => "full-init retry",
+            RecoveryKind::DenseOracle => "dense oracle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Terminal state of one window's computation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum WindowStatus {
+    /// Converged with no intervention of any kind.
+    #[default]
+    Ok,
+    /// Valid ranks were produced, but only after recovery.
+    Recovered {
+        /// What saved the window.
+        via: RecoveryKind,
+    },
+    /// No valid ranks for this window; the rest of the run is intact.
+    Failed {
+        /// Human-readable description of what went wrong.
+        diagnostic: String,
+    },
+}
+
+impl WindowStatus {
+    /// Whether valid ranks were produced (possibly after recovery).
+    pub fn is_valid(&self) -> bool {
+        !matches!(self, WindowStatus::Failed { .. })
+    }
+}
+
 /// One window's outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowOutput {
@@ -118,10 +167,13 @@ pub struct WindowOutput {
     pub window: usize,
     /// PageRank statistics.
     pub stats: PrStats,
-    /// Rank fingerprint (always present, cheap).
+    /// Rank fingerprint (always present, cheap; 0 for failed windows).
     pub fingerprint: f64,
-    /// Full sparse ranks when retention is `Full`.
+    /// Full sparse ranks when retention is `Full` (empty for failed
+    /// windows).
     pub ranks: Option<SparseRanks>,
+    /// Terminal state: ok, recovered, or failed.
+    pub status: WindowStatus,
 }
 
 /// Outcome of a whole run: one output per window, in window order.
@@ -129,6 +181,9 @@ pub struct WindowOutput {
 pub struct RunOutput {
     /// Per-window outputs, sorted by window index.
     pub windows: Vec<WindowOutput>,
+    /// True when at least one window failed: the run completed, but its
+    /// output is incomplete (the degraded-run contract — see DESIGN.md).
+    pub degraded: bool,
 }
 
 impl RunOutput {
@@ -136,6 +191,45 @@ impl RunOutput {
     /// partial-initialization experiment (Fig. 6) reports on.
     pub fn total_iterations(&self) -> usize {
         self.windows.iter().map(|w| w.stats.iterations).sum()
+    }
+
+    /// Window indices that produced no valid ranks.
+    pub fn failed_windows(&self) -> Vec<usize> {
+        self.windows
+            .iter()
+            .filter(|w| !w.status.is_valid())
+            .map(|w| w.window)
+            .collect()
+    }
+
+    /// Recomputes the `degraded` flag from per-window statuses.
+    /// Recomputes the `degraded` flag from the per-window statuses. Run
+    /// drivers call this once after assembling `windows`.
+    pub fn finalize_status(&mut self) {
+        self.degraded = self.windows.iter().any(|w| !w.status.is_valid());
+    }
+
+    /// One-line per-status summary: `"N ok, N recovered, N failed"` plus
+    /// the failed window ids when any.
+    pub fn status_summary(&self) -> String {
+        let mut ok = 0usize;
+        let mut recovered = 0usize;
+        let mut failed = Vec::new();
+        for w in &self.windows {
+            match &w.status {
+                WindowStatus::Ok => ok += 1,
+                WindowStatus::Recovered { .. } => recovered += 1,
+                WindowStatus::Failed { .. } => failed.push(w.window),
+            }
+        }
+        if failed.is_empty() {
+            format!("{ok} ok, {recovered} recovered, 0 failed")
+        } else {
+            format!(
+                "{ok} ok, {recovered} recovered, {} failed (windows {failed:?})",
+                failed.len()
+            )
+        }
     }
 
     /// Panics unless windows are exactly `0..n` in order.
@@ -211,22 +305,63 @@ mod tests {
 
     #[test]
     fn run_output_totals_and_completeness() {
-        use tempopr_kernel::PrStats;
+        use tempopr_kernel::{PrHealth, PrStats};
         let mk = |w, it| WindowOutput {
             window: w,
             stats: PrStats {
                 iterations: it,
                 converged: true,
                 active_vertices: 1,
+                health: PrHealth::default(),
             },
             fingerprint: 0.0,
             ranks: None,
+            status: WindowStatus::Ok,
         };
         let out = RunOutput {
             windows: vec![mk(0, 3), mk(1, 5)],
+            ..Default::default()
         };
         assert_eq!(out.total_iterations(), 8);
         out.assert_complete(2);
+        assert_eq!(out.status_summary(), "2 ok, 0 recovered, 0 failed");
+        assert!(out.failed_windows().is_empty());
+    }
+
+    #[test]
+    fn status_summary_reports_failures() {
+        use tempopr_kernel::PrStats;
+        let mk = |w, status| WindowOutput {
+            window: w,
+            stats: PrStats::empty(),
+            fingerprint: 0.0,
+            ranks: None,
+            status,
+        };
+        let mut out = RunOutput {
+            windows: vec![
+                mk(0, WindowStatus::Ok),
+                mk(
+                    1,
+                    WindowStatus::Recovered {
+                        via: RecoveryKind::DenseOracle,
+                    },
+                ),
+                mk(
+                    2,
+                    WindowStatus::Failed {
+                        diagnostic: "kernel panicked".into(),
+                    },
+                ),
+            ],
+            ..Default::default()
+        };
+        out.finalize_status();
+        assert!(out.degraded);
+        assert_eq!(out.failed_windows(), vec![2]);
+        let s = out.status_summary();
+        assert!(s.contains("1 ok") && s.contains("1 recovered"), "{s}");
+        assert!(s.contains("windows [2]"), "{s}");
     }
 
     #[test]

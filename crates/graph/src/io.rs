@@ -7,6 +7,12 @@
 //!
 //! Binary format: magic `TPRE`, version byte, little-endian `u64` vertex
 //! count and event count, then `(u32, u32, i64)` triples.
+//!
+//! Real-world postmortem logs are messy: truncated downloads, forged or
+//! corrupted headers, mixed-in garbage lines. Every reader here is
+//! panic-free on arbitrary bytes; the text path additionally supports a
+//! [`ParseMode::Lenient`] mode that skips (and counts) malformed records
+//! instead of aborting, reporting what it saw in an [`IngestReport`].
 
 use crate::error::GraphError;
 use crate::events::{Event, EventLog};
@@ -25,9 +31,17 @@ pub enum IoError {
         /// What was wrong.
         message: String,
     },
+    /// Lenient parsing gave up: more bad records than the configured cap.
+    TooManyBadRecords {
+        /// How many records were bad when the reader gave up.
+        bad: usize,
+        /// The configured cap.
+        max_bad_records: usize,
+    },
     /// The parsed events failed graph validation.
     Graph(GraphError),
-    /// The binary header was malformed.
+    /// The binary header was malformed (bad magic/version, or a declared
+    /// record count inconsistent with the actual input size).
     BadHeader(String),
 }
 
@@ -36,6 +50,13 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::TooManyBadRecords {
+                bad,
+                max_bad_records,
+            } => write!(
+                f,
+                "giving up after {bad} bad records (lenient cap {max_bad_records})"
+            ),
             IoError::Graph(e) => write!(f, "invalid event set: {e}"),
             IoError::BadHeader(m) => write!(f, "bad binary header: {m}"),
         }
@@ -56,7 +77,89 @@ impl From<GraphError> for IoError {
     }
 }
 
+/// How the text parser treats malformed records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseMode {
+    /// Any malformed line aborts the read with a line-numbered error.
+    #[default]
+    Strict,
+    /// Malformed lines are skipped and counted in the [`IngestReport`];
+    /// the read aborts only when more than `max_bad_records` lines were
+    /// dropped (a cap of `usize::MAX` means "never give up").
+    Lenient {
+        /// Maximum number of records to drop before aborting.
+        max_bad_records: usize,
+    },
+}
+
+/// What an ingest pass saw, beyond the events it accepted.
+///
+/// The counts are diagnostic, not corrective: self-loops, duplicates, and
+/// out-of-order lines are *legal* (the log is re-sorted on load) and are
+/// kept; only malformed / overflowing records are dropped, and only in
+/// [`ParseMode::Lenient`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Non-comment, non-blank data lines seen.
+    pub lines: usize,
+    /// Events accepted into the log.
+    pub accepted: usize,
+    /// Malformed lines dropped (lenient mode only).
+    pub skipped_bad: usize,
+    /// Lines dropped because a vertex id exceeded `u32` range.
+    pub overflow: usize,
+    /// Accepted events with `u == v`.
+    pub self_loops: usize,
+    /// Accepted events identical to another `(u, v, t)` event.
+    pub duplicates: usize,
+    /// Lines whose timestamp was smaller than the preceding line's.
+    pub out_of_order: usize,
+    /// First few per-line messages for the dropped records.
+    pub diagnostics: Vec<String>,
+}
+
+impl IngestReport {
+    /// How many per-line diagnostics are retained verbatim.
+    pub const MAX_DIAGNOSTICS: usize = 8;
+
+    fn note(&mut self, line: usize, msg: &str) {
+        if self.diagnostics.len() < Self::MAX_DIAGNOSTICS {
+            self.diagnostics.push(format!("line {line}: {msg}"));
+        }
+    }
+
+    /// Total records dropped.
+    pub fn dropped(&self) -> usize {
+        self.skipped_bad + self.overflow
+    }
+
+    /// True when nothing unusual was seen (no drops, loops, duplicates,
+    /// or reordering).
+    pub fn is_clean(&self) -> bool {
+        self.dropped() == 0 && self.self_loops == 0 && self.duplicates == 0
+            && self.out_of_order == 0
+    }
+
+    /// One-line human summary, suitable for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "ingest: {} lines, {} events accepted, {} dropped ({} malformed, {} overflow), \
+             {} self-loops, {} duplicates, {} out-of-order",
+            self.lines,
+            self.accepted,
+            self.dropped(),
+            self.skipped_bad,
+            self.overflow,
+            self.self_loops,
+            self.duplicates,
+            self.out_of_order
+        )
+    }
+}
+
 /// Parses a text event stream (`u v t` per line, `#`/`%` comments).
+///
+/// Strict-mode convenience wrapper around [`read_text_report`].
 ///
 /// ```
 /// let log = tempopr_graph::io::read_text("# comment\n0 1 10\n1 2 20\n".as_bytes()).unwrap();
@@ -64,10 +167,21 @@ impl From<GraphError> for IoError {
 /// assert_eq!(log.num_vertices(), 3);
 /// ```
 pub fn read_text<R: Read>(reader: R) -> Result<EventLog, IoError> {
+    read_text_report(reader, ParseMode::Strict).map(|(log, _)| log)
+}
+
+/// Parses a text event stream under the given [`ParseMode`], reporting
+/// everything unusual it saw in an [`IngestReport`].
+pub fn read_text_report<R: Read>(
+    reader: R,
+    mode: ParseMode,
+) -> Result<(EventLog, IngestReport), IoError> {
     let mut events = Vec::new();
+    let mut report = IngestReport::default();
     let mut line_buf = String::new();
     let mut reader = BufReader::new(reader);
     let mut lineno = 0usize;
+    let mut prev_t: Option<i64> = None;
     // Workhorse-string loop (perf-book): one allocation for the whole file.
     loop {
         line_buf.clear();
@@ -79,36 +193,106 @@ pub fn read_text<R: Read>(reader: R) -> Result<EventLog, IoError> {
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
+        report.lines += 1;
         let mut it = line.split_whitespace();
-        let parse = |field: Option<&str>, what: &str, lineno: usize| -> Result<i64, IoError> {
+        let parse = |field: Option<&str>, what: &str| -> Result<i64, String> {
             field
-                .ok_or_else(|| IoError::Parse {
-                    line: lineno,
-                    message: format!("missing {what}"),
-                })?
+                .ok_or_else(|| format!("missing {what}"))?
                 .parse::<i64>()
-                .map_err(|e| IoError::Parse {
-                    line: lineno,
-                    message: format!("bad {what}: {e}"),
-                })
+                .map_err(|e| format!("bad {what}: {e}"))
         };
-        let u = parse(it.next(), "source vertex", lineno)?;
-        let v = parse(it.next(), "destination vertex", lineno)?;
-        let t = parse(it.next(), "timestamp", lineno)?;
+        let parsed = parse(it.next(), "source vertex")
+            .and_then(|u| parse(it.next(), "destination vertex").map(|v| (u, v)))
+            .and_then(|(u, v)| parse(it.next(), "timestamp").map(|t| (u, v, t)));
+        let (u, v, t) = match parsed {
+            Ok(rec) => rec,
+            Err(message) => match mode {
+                ParseMode::Strict => {
+                    return Err(IoError::Parse {
+                        line: lineno,
+                        message,
+                    })
+                }
+                ParseMode::Lenient { max_bad_records } => {
+                    report.skipped_bad += 1;
+                    report.note(lineno, &message);
+                    if report.dropped() > max_bad_records {
+                        return Err(IoError::TooManyBadRecords {
+                            bad: report.dropped(),
+                            max_bad_records,
+                        });
+                    }
+                    continue;
+                }
+            },
+        };
         if !(0..=u32::MAX as i64).contains(&u) || !(0..=u32::MAX as i64).contains(&v) {
-            return Err(IoError::Parse {
-                line: lineno,
-                message: format!("vertex id out of u32 range: {u} {v}"),
-            });
+            let message = format!("vertex id out of u32 range: {u} {v}");
+            match mode {
+                ParseMode::Strict => {
+                    return Err(IoError::Parse {
+                        line: lineno,
+                        message,
+                    })
+                }
+                ParseMode::Lenient { max_bad_records } => {
+                    report.overflow += 1;
+                    report.note(lineno, &message);
+                    if report.dropped() > max_bad_records {
+                        return Err(IoError::TooManyBadRecords {
+                            bad: report.dropped(),
+                            max_bad_records,
+                        });
+                    }
+                    continue;
+                }
+            }
         }
+        if u == v {
+            report.self_loops += 1;
+        }
+        if prev_t.is_some_and(|p| t < p) {
+            report.out_of_order += 1;
+        }
+        prev_t = Some(t);
         events.push(Event::new(u as u32, v as u32, t));
     }
-    Ok(EventLog::from_unsorted_auto(events)?)
+    report.accepted = events.len();
+    let log = EventLog::from_unsorted_auto(events)?;
+    // Duplicate counting needs (u, v) order *within* each timestamp, but
+    // the log's stable time sort must otherwise be preserved (text
+    // round-trips keep their within-timestamp event order), so sort a
+    // scratch copy of each equal-t run instead of the events themselves.
+    let evs = log.events();
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < evs.len() {
+        let mut j = i + 1;
+        while j < evs.len() && evs[j].t == evs[i].t {
+            j += 1;
+        }
+        if j - i > 1 {
+            scratch.clear();
+            scratch.extend(evs[i..j].iter().map(|e| (e.u, e.v)));
+            scratch.sort_unstable();
+            report.duplicates += scratch.windows(2).filter(|w| w[0] == w[1]).count();
+        }
+        i = j;
+    }
+    Ok((log, report))
 }
 
 /// Reads a text event file from `path`.
 pub fn read_text_file<P: AsRef<Path>>(path: P) -> Result<EventLog, IoError> {
     read_text(std::fs::File::open(path)?)
+}
+
+/// Reads a text event file from `path` under the given [`ParseMode`].
+pub fn read_text_file_report<P: AsRef<Path>>(
+    path: P,
+    mode: ParseMode,
+) -> Result<(EventLog, IngestReport), IoError> {
+    read_text_report(std::fs::File::open(path)?, mode)
 }
 
 /// Writes the log as text (`u v t` per line) with a comment header.
@@ -134,6 +318,13 @@ pub fn write_text_file<P: AsRef<Path>>(log: &EventLog, path: P) -> Result<(), Io
 
 const MAGIC: &[u8; 4] = b"TPRE";
 const VERSION: u8 = 1;
+const RECORD_LEN: usize = 16;
+const HEADER_LEN: u64 = 21; // magic(4) + version(1) + vertices(8) + count(8)
+
+/// Preallocation cap for the binary reader: a forged header can declare
+/// any record count, so never trust it for more than this many records up
+/// front — the vector grows normally as records actually arrive.
+const MAX_PREALLOC_RECORDS: usize = 1 << 20;
 
 /// Writes the compact binary format.
 pub fn write_binary<W: Write>(log: &EventLog, writer: W) -> Result<(), IoError> {
@@ -152,7 +343,17 @@ pub fn write_binary<W: Write>(log: &EventLog, writer: W) -> Result<(), IoError> 
 }
 
 /// Reads the compact binary format.
+///
+/// The header-declared record count is treated as a claim, not a fact: the
+/// reader never preallocates more than a fixed cap on its say-so (a forged
+/// multi-terabyte count must not OOM the process), and when the total
+/// input size is known ([`read_binary_file`]) the count is cross-checked
+/// against it before any allocation.
 pub fn read_binary<R: Read>(reader: R) -> Result<EventLog, IoError> {
+    read_binary_impl(reader, None)
+}
+
+fn read_binary_impl<R: Read>(reader: R, total_len: Option<u64>) -> Result<EventLog, IoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -169,19 +370,43 @@ pub fn read_binary<R: Read>(reader: R) -> Result<EventLog, IoError> {
     }
     let mut u64buf = [0u8; 8];
     r.read_exact(&mut u64buf)?;
-    let num_vertices = u64::from_le_bytes(u64buf) as usize;
+    let num_vertices = u64::from_le_bytes(u64buf);
     r.read_exact(&mut u64buf)?;
-    let count = u64::from_le_bytes(u64buf) as usize;
-    let mut events = Vec::with_capacity(count);
-    let mut rec = [0u8; 16];
+    let count = u64::from_le_bytes(u64buf);
+    // Sanity: the declared counts must be representable and, when the
+    // input size is known, consistent with the bytes actually present.
+    if num_vertices > u32::MAX as u64 + 1 {
+        return Err(IoError::BadHeader(format!(
+            "vertex count {num_vertices} exceeds u32 id space"
+        )));
+    }
+    let body = count.checked_mul(RECORD_LEN as u64).ok_or_else(|| {
+        IoError::BadHeader(format!("record count {count} overflows byte length"))
+    })?;
+    if let Some(total) = total_len {
+        let available = total.saturating_sub(HEADER_LEN);
+        if body > available {
+            return Err(IoError::BadHeader(format!(
+                "header declares {count} records ({body} bytes) but only {available} bytes follow"
+            )));
+        }
+    }
+    let count = count as usize;
+    let mut events = Vec::with_capacity(count.min(MAX_PREALLOC_RECORDS));
+    let mut rec = [0u8; RECORD_LEN];
+    let mut word4 = [0u8; 4];
+    let mut word8 = [0u8; 8];
     for _ in 0..count {
         r.read_exact(&mut rec)?;
-        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
-        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
-        let t = i64::from_le_bytes(rec[8..16].try_into().unwrap());
+        word4.copy_from_slice(&rec[0..4]);
+        let u = u32::from_le_bytes(word4);
+        word4.copy_from_slice(&rec[4..8]);
+        let v = u32::from_le_bytes(word4);
+        word8.copy_from_slice(&rec[8..16]);
+        let t = i64::from_le_bytes(word8);
         events.push(Event::new(u, v, t));
     }
-    Ok(EventLog::from_unsorted(events, num_vertices)?)
+    Ok(EventLog::from_unsorted(events, num_vertices as usize)?)
 }
 
 /// Writes the binary format to `path`.
@@ -189,9 +414,12 @@ pub fn write_binary_file<P: AsRef<Path>>(log: &EventLog, path: P) -> Result<(), 
     write_binary(log, std::fs::File::create(path)?)
 }
 
-/// Reads the binary format from `path`.
+/// Reads the binary format from `path`, cross-checking the declared
+/// record count against the file size before allocating.
 pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<EventLog, IoError> {
-    read_binary(std::fs::File::open(path)?)
+    let f = std::fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    read_binary_impl(f, Some(len))
 }
 
 #[cfg(test)]
@@ -272,6 +500,70 @@ mod tests {
     }
 
     #[test]
+    fn lenient_skips_and_counts_bad_lines() {
+        let input = "0 1 10\ngarbage line\n2 3 5\n0 x 7\n1 4 20\n";
+        let (log, report) = read_text_report(
+            input.as_bytes(),
+            ParseMode::Lenient {
+                max_bad_records: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(report.lines, 5);
+        assert_eq!(report.accepted, 3);
+        assert_eq!(report.skipped_bad, 2);
+        assert_eq!(report.dropped(), 2);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert!(report.diagnostics[0].contains("line 2"), "{report:?}");
+    }
+
+    #[test]
+    fn lenient_cap_aborts() {
+        let input = "x\ny\nz\n0 1 5\n";
+        let err = read_text_report(
+            input.as_bytes(),
+            ParseMode::Lenient { max_bad_records: 2 },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            IoError::TooManyBadRecords {
+                bad: 3,
+                max_bad_records: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn report_counts_loops_duplicates_and_disorder() {
+        let input = "0 1 10\n2 2 4\n0 1 10\n3 4 2\n";
+        let (log, report) = read_text_report(input.as_bytes(), ParseMode::Strict).unwrap();
+        assert_eq!(log.len(), 4);
+        assert_eq!(report.self_loops, 1);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.out_of_order, 2); // 4 after 10, 2 after 10
+        assert_eq!(report.skipped_bad, 0);
+        assert!(!report.is_clean());
+        assert!(report.summary().contains("4 events accepted"));
+    }
+
+    #[test]
+    fn clean_ingest_reports_clean() {
+        let (_, report) =
+            read_text_report("0 1 1\n1 2 2\n".as_bytes(), ParseMode::Strict).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn strict_mode_still_errors_in_report_api() {
+        assert!(matches!(
+            read_text_report("bogus\n".as_bytes(), ParseMode::Strict),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
     fn binary_roundtrip() {
         let log = sample();
         let mut buf = Vec::new();
@@ -298,6 +590,56 @@ mod tests {
         write_binary(&sample(), &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(matches!(read_binary(&buf[..]), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn forged_record_count_does_not_preallocate() {
+        // A header claiming 2^40 records (a 16 TiB body) with an empty
+        // body must fail fast (EOF on the first record) without
+        // attempting a huge allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&5u64.to_le_bytes()); // vertices
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes()); // forged count
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::Io(_))));
+        // A count whose byte length overflows u64 is rejected at the
+        // header, before any read.
+        let mut buf2 = Vec::new();
+        buf2.extend_from_slice(MAGIC);
+        buf2.push(VERSION);
+        buf2.extend_from_slice(&5u64.to_le_bytes());
+        buf2.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_binary(&buf2[..]), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn forged_vertex_count_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd vertex count
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn forged_header_count_rejected_against_file_size() {
+        // Via the file path the declared count is checked against the
+        // actual file size before any allocation.
+        let dir = std::env::temp_dir().join("tempopr_io_forged_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("forged.bin");
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        // Forge the count field (bytes 13..21) to claim a million records.
+        buf[13..21].copy_from_slice(&1_000_000u64.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        match read_binary_file(&path) {
+            Err(IoError::BadHeader(m)) => assert!(m.contains("1000000"), "{m}"),
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

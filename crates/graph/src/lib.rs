@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod csr;
 pub mod error;
@@ -31,6 +33,7 @@ pub use events::{Event, EventLog, Timestamp, VertexId};
 pub use multiwindow::{
     parts_for_memory_budget, MultiWindowGraph, MultiWindowSet, PartitionStrategy,
 };
+pub use io::{IngestReport, IoError, ParseMode};
 pub use tcsr::{NeighborRun, TemporalCsr};
 pub use window::{TimeRange, WindowSpec};
 pub use windowindex::{WindowIndex, WindowIndexView};

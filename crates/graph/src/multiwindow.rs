@@ -373,9 +373,8 @@ fn equal_event_boundaries(log: &EventLog, spec: &WindowSpec, parts: usize) -> Ve
             }
             w += 1;
         }
-        w += 1;
-        b.push(w.min(max_w));
-        w = *b.last().unwrap();
+        w = (w + 1).min(max_w);
+        b.push(w);
     }
     b.push(spec.count);
     b

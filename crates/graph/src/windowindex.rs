@@ -275,7 +275,7 @@ impl WindowIndex {
                         a += 1;
                         (vo, d)
                     }
-                    (None, None) => unreachable!(),
+                    (None, None) => break, // both sides exhausted
                 };
                 vertex.push(v);
                 deg_out.push(d);

@@ -18,10 +18,18 @@
 //!   (Beamer et al., cited in §2.2 as compatible);
 //! - [`mod@reference`]: the slow, obvious implementation every kernel is
 //!   tested against.
+//!
+//! All kernels return `Result<_, `[`KernelError`]`>` and run under
+//! per-iteration numeric-health guards (see [`GuardConfig`] /
+//! [`NumericPolicy`]); deterministic faults can be injected via
+//! [`PrConfig::fault`] for recovery testing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod error;
 pub mod linear_system;
 pub mod pagerank;
 pub mod personalized;
@@ -30,10 +38,12 @@ pub mod reference;
 pub mod scheduler;
 pub mod spmm;
 
+pub use error::{FaultKind, KernelError, NumericFault};
 pub use linear_system::solve_pagerank_exact;
 pub use pagerank::{
-    pagerank_csr, pagerank_window, pagerank_window_indexed, pagerank_window_vec, Init, PrConfig,
-    PrStats, PrWorkspace,
+    pagerank_csr, pagerank_window, pagerank_window_indexed, pagerank_window_vec, GuardConfig,
+    Init, NumericPolicy, PrConfig, PrHealth, PrStats, PrWorkspace, MAX_RENORMALIZATIONS,
+    MAX_RESTARTS,
 };
 pub use personalized::pagerank_window_personalized;
 pub use propagation::{

@@ -15,6 +15,7 @@
 //! windows, not production. Tests use it to pin every iterative kernel to
 //! the true fixed point at machine precision.
 
+use crate::error::KernelError;
 use crate::pagerank::PrConfig;
 use tempopr_graph::{TemporalCsr, TimeRange, VertexId};
 
@@ -22,17 +23,26 @@ use tempopr_graph::{TemporalCsr, TimeRange, VertexId};
 ///
 /// Builds the dense `n_act × n_act` system over the window's active set
 /// and eliminates. Returns the rank vector over the full vertex space
-/// (0 for inactive vertices). Panics if the active set exceeds
-/// `max_active` (guard against accidentally cubing a huge window).
+/// (0 for inactive vertices). Fails with
+/// [`KernelError::ActiveSetTooLarge`] if the active set exceeds
+/// `max_active` (guard against accidentally cubing a huge window) and
+/// with [`KernelError::SingularSystem`] if elimination hits a vanishing
+/// pivot (impossible for a well-formed PageRank system, but a corrupted
+/// graph must not panic the solver).
 pub fn solve_pagerank_exact(
     pull: &TemporalCsr,
     push: &TemporalCsr,
     range: TimeRange,
     cfg: &PrConfig,
     max_active: usize,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, KernelError> {
     let n = pull.num_vertices();
-    assert_eq!(push.num_vertices(), n);
+    if push.num_vertices() != n {
+        return Err(KernelError::MismatchedUniverses {
+            pull: n,
+            push: push.num_vertices(),
+        });
+    }
     let directed = !std::ptr::eq(pull, push);
     // Active set and out-degrees.
     let mut active_list: Vec<u32> = Vec::new();
@@ -49,12 +59,14 @@ pub fn solve_pagerank_exact(
     }
     let m = active_list.len();
     if m == 0 {
-        return vec![0.0; n];
+        return Ok(vec![0.0; n]);
     }
-    assert!(
-        m <= max_active,
-        "active set {m} exceeds max_active {max_active} (dense solve is O(n^3))"
-    );
+    if m > max_active {
+        return Err(KernelError::ActiveSetTooLarge {
+            active: m,
+            max_active,
+        });
+    }
     let alpha = cfg.alpha;
     let damp = 1.0 - alpha;
     // System matrix M = I - damp * P, where P[i][j] = 1/outdeg(j) if j -> i
@@ -84,16 +96,20 @@ pub fn solve_pagerank_exact(
     }
     // Gaussian elimination with partial pivoting on the augmented matrix.
     for col in 0..m {
-        let (pivot, _) = a
-            .iter()
-            .enumerate()
-            .skip(col)
-            .map(|(r, row)| (r, row[col].abs()))
-            .max_by(|x, y| x.1.total_cmp(&y.1))
-            .expect("non-empty");
+        let mut pivot = col;
+        let mut best = a[col][col].abs();
+        for (r, row) in a.iter().enumerate().skip(col + 1) {
+            let mag = row[col].abs();
+            if mag > best {
+                best = mag;
+                pivot = r;
+            }
+        }
         a.swap(col, pivot);
         let p = a[col][col];
-        assert!(p.abs() > 1e-12, "singular PageRank system");
+        if !p.is_finite() || p.abs() <= 1e-12 {
+            return Err(KernelError::SingularSystem);
+        }
         // Copy the pivot row's tail once per column (borrow-splitting).
         let pivot_row: Vec<f64> = a[col][col..].to_vec();
         for (r, row) in a.iter_mut().enumerate() {
@@ -113,7 +129,7 @@ pub fn solve_pagerank_exact(
     for (i, &v) in active_list.iter().enumerate() {
         x[v as usize] = a[i][m] / a[i][i];
     }
-    x
+    Ok(x)
 }
 
 #[cfg(test)]
@@ -127,6 +143,7 @@ mod tests {
             alpha: 0.15,
             tol: 1e-14,
             max_iters: 3000,
+            ..PrConfig::default()
         }
     }
 
@@ -142,8 +159,8 @@ mod tests {
         }
         let t = TemporalCsr::from_events(18, &events, true);
         for range in [TimeRange::new(0, 60), TimeRange::new(30, 120)] {
-            let exact = solve_pagerank_exact(&t, &t, range, &cfg(), 100);
-            let (iter, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+            let exact = solve_pagerank_exact(&t, &t, range, &cfg(), 100).unwrap();
+            let (iter, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
             for v in 0..18 {
                 assert!(
                     (exact[v] - iter[v]).abs() < 1e-10,
@@ -169,8 +186,8 @@ mod tests {
         let out = TemporalCsr::from_events(4, &events, false);
         let pull = out.transpose();
         let range = TimeRange::new(0, 10);
-        let exact = solve_pagerank_exact(&pull, &out, range, &cfg(), 100);
-        let (iter, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None);
+        let exact = solve_pagerank_exact(&pull, &out, range, &cfg(), 100).unwrap();
+        let (iter, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None).unwrap();
         for v in 0..4 {
             assert!(
                 (exact[v] - iter[v]).abs() < 1e-10,
@@ -185,7 +202,7 @@ mod tests {
     fn two_vertex_closed_form() {
         // Symmetric pair: exact solution is (1/2, 1/2).
         let t = TemporalCsr::from_events(2, &[Event::new(0, 1, 1)], true);
-        let x = solve_pagerank_exact(&t, &t, TimeRange::new(0, 10), &cfg(), 10);
+        let x = solve_pagerank_exact(&t, &t, TimeRange::new(0, 10), &cfg(), 10).unwrap();
         assert!((x[0] - 0.5).abs() < 1e-12);
         assert!((x[1] - 0.5).abs() < 1e-12);
     }
@@ -193,15 +210,21 @@ mod tests {
     #[test]
     fn empty_window_is_zero() {
         let t = TemporalCsr::from_events(3, &[Event::new(0, 1, 5)], true);
-        let x = solve_pagerank_exact(&t, &t, TimeRange::new(50, 60), &cfg(), 10);
+        let x = solve_pagerank_exact(&t, &t, TimeRange::new(50, 60), &cfg(), 10).unwrap();
         assert_eq!(x, vec![0.0; 3]);
     }
 
     #[test]
-    #[should_panic(expected = "max_active")]
     fn size_guard_trips() {
         let events: Vec<Event> = (0..20).map(|i| Event::new(i, (i + 1) % 20, 1)).collect();
         let t = TemporalCsr::from_events(20, &events, true);
-        solve_pagerank_exact(&t, &t, TimeRange::new(0, 10), &cfg(), 5);
+        let err = solve_pagerank_exact(&t, &t, TimeRange::new(0, 10), &cfg(), 5).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::ActiveSetTooLarge {
+                active: 20,
+                max_active: 5
+            }
+        );
     }
 }

@@ -16,9 +16,85 @@
 //! - teleport `α` (default 0.15) paid to active vertices only, dangling
 //!   rank mass redistributed uniformly over `V_i`;
 //! - convergence when the L1 difference of successive iterates < `tol`.
+//!
+//! ## Numeric health
+//! Power iteration preserves rank mass exactly in exact arithmetic
+//! (teleport + damped edge mass + dangling redistribution always sum to
+//! one), so `Σx ≈ 1` is an invariant every iteration can be checked
+//! against almost for free: the mass sum folds into the same reduction
+//! that already computes the L1 diff. With [`GuardConfig::enabled`] (the
+//! default) each iteration verifies the iterate is finite and the mass has
+//! not drifted beyond [`GuardConfig::mass_epsilon`]; violations recover
+//! per [`NumericPolicy`] and are tallied in [`PrStats::health`], never
+//! silently dropped. The guards only *observe* the iterate — ranks on
+//! healthy inputs are bit-identical with guards on or off.
 
+use crate::error::{FaultKind, KernelError, NumericFault};
 use crate::scheduler::Scheduler;
 use tempopr_graph::{Csr, TemporalCsr, TimeRange, VertexId, WindowIndexView};
+
+/// What to do when a numeric-health guard trips (NaN/Inf in the iterate or
+/// rank-mass drift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumericPolicy {
+    /// Surface the fault immediately as [`KernelError::Numeric`].
+    Fail,
+    /// Mass drift: rescale the iterate back to unit mass and continue (up
+    /// to [`MAX_RENORMALIZATIONS`] times). Non-finite values: restart from
+    /// a uniform iterate (up to [`MAX_RESTARTS`] times). Escalate to
+    /// [`KernelError::Numeric`] when the budget is spent.
+    #[default]
+    RenormalizeRetry,
+    /// Any fault: restart from a uniform iterate over the active set (up
+    /// to [`MAX_RESTARTS`] times), then escalate.
+    FallbackFullInit,
+}
+
+/// Renormalizations a single kernel invocation may perform before
+/// escalating — persistent drift (e.g. a corrupted degree reciprocal)
+/// renormalizes every iteration and must not spin to `max_iters`.
+pub const MAX_RENORMALIZATIONS: u32 = 3;
+
+/// Uniform restarts a single kernel invocation may perform before
+/// escalating.
+pub const MAX_RESTARTS: u32 = 1;
+
+/// Per-iteration numeric-health checking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Check each iteration for NaN/Inf and rank-mass drift. On healthy
+    /// inputs the checks are read-only: ranks are bit-identical either
+    /// way.
+    pub enabled: bool,
+    /// Allowed drift of the rank mass from 1. The default 1e-6 sits far
+    /// above f64 summation noise (≈ `n · 1e-16`) and far below any real
+    /// corruption (a doubled reciprocal drifts mass by `Θ(x_v)` per
+    /// iteration).
+    pub mass_epsilon: f64,
+    /// Recovery policy when a guard trips.
+    pub policy: NumericPolicy,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            enabled: true,
+            mass_epsilon: 1e-6,
+            policy: NumericPolicy::RenormalizeRetry,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// Guards disabled (for overhead measurement; production runs keep the
+    /// default on).
+    pub fn off() -> Self {
+        GuardConfig {
+            enabled: false,
+            ..GuardConfig::default()
+        }
+    }
+}
 
 /// PageRank parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +109,11 @@ pub struct PrConfig {
     /// Iteration cap (implementations "execute a fixed number of iterations
     /// at most", §2.2).
     pub max_iters: usize,
+    /// Numeric-health guard settings.
+    pub guard: GuardConfig,
+    /// Deterministic fault to inject into this invocation (testing only;
+    /// `None`, the default, costs one predictable branch per iteration).
+    pub fault: Option<FaultKind>,
 }
 
 impl Default for PrConfig {
@@ -41,7 +122,31 @@ impl Default for PrConfig {
             alpha: 0.15,
             tol: 1e-6,
             max_iters: 100,
+            guard: GuardConfig::default(),
+            fault: None,
         }
+    }
+}
+
+/// Numeric-health events observed during one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrHealth {
+    /// Iterations whose drifted mass was rescaled back to 1.
+    pub renormalizations: u32,
+    /// Restarts from a uniform iterate after a non-finite value.
+    pub restarts: u32,
+}
+
+impl PrHealth {
+    /// No guard ever tripped.
+    pub fn is_clean(&self) -> bool {
+        self.renormalizations == 0 && self.restarts == 0
+    }
+
+    /// Folds another invocation's health events into this one.
+    pub fn merge(&mut self, other: &PrHealth) {
+        self.renormalizations += other.renormalizations;
+        self.restarts += other.restarts;
     }
 }
 
@@ -54,6 +159,20 @@ pub struct PrStats {
     pub converged: bool,
     /// `|V_i|`: vertices active in the window.
     pub active_vertices: usize,
+    /// Numeric-health events (all zero on a healthy run).
+    pub health: PrHealth,
+}
+
+impl PrStats {
+    /// Stats for an empty window: zero iterations, trivially converged.
+    pub fn empty() -> Self {
+        PrStats {
+            iterations: 0,
+            converged: true,
+            active_vertices: 0,
+            health: PrHealth::default(),
+        }
+    }
 }
 
 /// How the rank vector is initialized before iterating.
@@ -147,9 +266,14 @@ pub fn pagerank_window(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
-    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    if push.num_vertices() != n {
+        return Err(KernelError::MismatchedUniverses {
+            pull: n,
+            push: push.num_vertices(),
+        });
+    }
     ws.ensure(n);
     let directed = !std::ptr::eq(pull, push);
 
@@ -229,9 +353,14 @@ pub fn pagerank_window_indexed(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
-    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    if push.num_vertices() != n {
+        return Err(KernelError::MismatchedUniverses {
+            pull: n,
+            push: push.num_vertices(),
+        });
+    }
     ws.ensure(n);
     ws.deg_in.clear();
     let has_dangling = setup_from_index(view, ws);
@@ -252,6 +381,79 @@ pub(crate) fn setup_from_index(view: &WindowIndexView<'_>, ws: &mut PrWorkspace)
     !view.dangling.is_empty()
 }
 
+/// What the faulted iteration should do next, as decided by
+/// [`guard_check`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum GuardAction {
+    /// No fault: scatter the iterate and test convergence as usual.
+    Proceed,
+    /// Mass drifted: scatter the iterate scaled by `scale`, skip the
+    /// convergence test this iteration.
+    Renormalize {
+        /// `1/mass` of the drifted iterate.
+        scale: f64,
+    },
+    /// Non-finite values: throw the iterate away and restart from a
+    /// uniform distribution over the active set.
+    Restart,
+}
+
+/// The shared guard decision: inspects one iteration's `(diff, mass)`
+/// reduction and either clears it, prescribes a recovery per the
+/// configured [`NumericPolicy`], or escalates to [`KernelError::Numeric`].
+/// `lane` is only for diagnostics (batched kernels).
+pub(crate) fn guard_check(
+    diff: f64,
+    mass: f64,
+    lane: usize,
+    iteration: usize,
+    cfg: &PrConfig,
+    health: &mut PrHealth,
+) -> Result<GuardAction, KernelError> {
+    if !cfg.guard.enabled {
+        return Ok(GuardAction::Proceed);
+    }
+    let fault = if !mass.is_finite() || !diff.is_finite() {
+        NumericFault::NonFinite { lane }
+    } else if (mass - 1.0).abs() > cfg.guard.mass_epsilon {
+        NumericFault::MassDrift {
+            lane,
+            mass,
+            epsilon: cfg.guard.mass_epsilon,
+        }
+    } else {
+        return Ok(GuardAction::Proceed);
+    };
+    let escalate = Err(KernelError::Numeric {
+        iteration,
+        fault,
+    });
+    match cfg.guard.policy {
+        NumericPolicy::Fail => escalate,
+        NumericPolicy::RenormalizeRetry => match fault {
+            NumericFault::MassDrift { mass, .. }
+                if health.renormalizations < MAX_RENORMALIZATIONS =>
+            {
+                health.renormalizations += 1;
+                Ok(GuardAction::Renormalize { scale: 1.0 / mass })
+            }
+            NumericFault::NonFinite { .. } if health.restarts < MAX_RESTARTS => {
+                health.restarts += 1;
+                Ok(GuardAction::Restart)
+            }
+            _ => escalate,
+        },
+        NumericPolicy::FallbackFullInit => {
+            if health.restarts < MAX_RESTARTS {
+                health.restarts += 1;
+                Ok(GuardAction::Restart)
+            } else {
+                escalate
+            }
+        }
+    }
+}
+
 /// The shared iteration phase of [`pagerank_window`] and
 /// [`pagerank_window_indexed`]: initialization plus damped power iteration
 /// over the active list already present in `ws`.
@@ -263,30 +465,70 @@ fn power_iterate_window(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
+    iterate_guarded(
+        |x, inv_deg, v| pull_sum(pull, range, x, inv_deg, v),
+        has_dangling,
+        init,
+        cfg,
+        sched,
+        ws,
+    )
+}
+
+/// The guarded damped power iteration shared by the temporal and static
+/// pull kernels: `pull_contrib(x, inv_deg, v)` supplies the pull sum for
+/// one destination. Monomorphized per caller, so the hot loop is identical
+/// to a hand-inlined version.
+fn iterate_guarded<PS>(
+    pull_contrib: PS,
+    has_dangling: bool,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+) -> Result<PrStats, KernelError>
+where
+    PS: Fn(&[f64], &[f64], VertexId) -> f64 + Sync,
+{
     let n_act = ws.active_list.len();
     if n_act == 0 {
-        return PrStats {
-            iterations: 0,
-            converged: true,
-            active_vertices: 0,
-        };
+        return Ok(PrStats::empty());
     }
     let n_act_f = n_act as f64;
 
     // --- Initialization ---------------------------------------------------
-    initialize(init, &ws.active, n_act_f, &mut ws.x);
+    initialize(init, &ws.active, n_act_f, &mut ws.x)?;
+    if let Some(FaultKind::CorruptReciprocal) = cfg.fault {
+        corrupt_first_reciprocal(&ws.active_list, &mut ws.inv_deg);
+    }
 
     // --- Power iteration ---------------------------------------------------
     // Iterations loop over the compact active list; inactive vertices keep
     // their initial 0 forever. The new iterate lands in `y` by list
-    // position and is scattered back into `x` after each pass.
+    // position and is scattered back into `x` after each pass. Alongside
+    // the L1 diff the reduction carries the iterate's total mass, which the
+    // guard checks against the Σx = 1 invariant — an extra add per vertex,
+    // never an extra pass.
     let alpha = cfg.alpha;
     let damp = 1.0 - alpha;
     let mut iterations = 0;
     let mut converged = false;
+    let mut health = PrHealth::default();
     while iterations < cfg.max_iters {
         iterations += 1;
+        match cfg.fault {
+            Some(FaultKind::InjectNan { at_iter }) if at_iter == iterations => {
+                let v = ws.active_list[0] as usize;
+                ws.x[v] = f64::NAN;
+            }
+            Some(FaultKind::PanicInKernel) if iterations == 1 => {
+                // Intentional: models a latent kernel bug for the driver's
+                // panic-isolation path.
+                panic!("fault injection: panic inside SpMV kernel");
+            }
+            _ => {}
+        }
         let list = &ws.active_list;
         let dangling: f64 = if has_dangling {
             list.iter()
@@ -302,30 +544,58 @@ fn power_iterate_window(
         let compact = &mut ws.y[..n_act];
         let body = |off: usize, slice: &mut [f64]| {
             let mut d = 0.0;
+            let mut m = 0.0;
             for (i, yv) in slice.iter_mut().enumerate() {
                 let v = list[off + i];
-                let val = base + damp * pull_sum(pull, range, x, inv_deg, v);
+                let val = base + damp * pull_contrib(x, inv_deg, v);
                 d += (val - x[v as usize]).abs();
+                m += val;
                 *yv = val;
             }
-            d
+            (d, m)
         };
-        let diff = match sched {
-            Some(s) => s.map_reduce_slice_mut(compact, 0.0f64, body, |a, b| a + b),
+        let (diff, mass) = match sched {
+            Some(s) => s.map_reduce_slice_mut(compact, (0.0f64, 0.0f64), body, |a, b| {
+                (a.0 + b.0, a.1 + b.1)
+            }),
             None => body(0, compact),
         };
+        match guard_check(diff, mass, 0, iterations, cfg, &mut health)? {
+            GuardAction::Proceed => {}
+            GuardAction::Renormalize { scale } => {
+                for (i, &v) in ws.active_list.iter().enumerate() {
+                    ws.x[v as usize] = ws.y[i] * scale;
+                }
+                continue;
+            }
+            GuardAction::Restart => {
+                for &v in &ws.active_list {
+                    ws.x[v as usize] = 1.0 / n_act_f;
+                }
+                continue;
+            }
+        }
         for (i, &v) in ws.active_list.iter().enumerate() {
             ws.x[v as usize] = ws.y[i];
         }
-        if diff < cfg.tol {
+        if diff < cfg.tol && cfg.fault != Some(FaultKind::ForceNonConvergence) {
             converged = true;
             break;
         }
     }
-    PrStats {
+    Ok(PrStats {
         iterations,
         converged,
         active_vertices: n_act,
+        health,
+    })
+}
+
+/// Applies the [`FaultKind::CorruptReciprocal`] fault: multiplies the
+/// first active non-dangling vertex's `1/outdeg` by 1000.
+pub(crate) fn corrupt_first_reciprocal(active_list: &[u32], inv_deg: &mut [f64]) {
+    if let Some(&v) = active_list.iter().find(|&&v| inv_deg[v as usize] > 0.0) {
+        inv_deg[v as usize] *= 1000.0;
     }
 }
 
@@ -341,9 +611,14 @@ pub fn pagerank_csr(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
-    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    if push.num_vertices() != n {
+        return Err(KernelError::MismatchedUniverses {
+            pull: n,
+            push: push.num_vertices(),
+        });
+    }
     ws.ensure(n);
     let directed = !std::ptr::eq(pull, push);
     // Degree pass through the scheduler, like the temporal kernel's; in
@@ -407,66 +682,20 @@ pub fn pagerank_csr(
             }
         }
     }
-    let n_act = ws.active_list.len();
-    if n_act == 0 {
-        return PrStats {
-            iterations: 0,
-            converged: true,
-            active_vertices: 0,
-        };
-    }
-    let n_act_f = n_act as f64;
-    initialize(init, &ws.active, n_act_f, &mut ws.x);
-    let alpha = cfg.alpha;
-    let damp = 1.0 - alpha;
-    let mut iterations = 0;
-    let mut converged = false;
-    while iterations < cfg.max_iters {
-        iterations += 1;
-        let list = &ws.active_list;
-        let dangling: f64 = if has_dangling {
-            list.iter()
-                .filter(|&&v| ws.deg_out[v as usize] == 0)
-                .map(|&v| ws.x[v as usize])
-                .sum()
-        } else {
-            0.0
-        };
-        let base = alpha / n_act_f + damp * dangling / n_act_f;
-        let x = &ws.x;
-        let inv_deg = &ws.inv_deg;
-        let compact = &mut ws.y[..n_act];
-        let body = |off: usize, slice: &mut [f64]| {
-            let mut d = 0.0;
-            for (i, yv) in slice.iter_mut().enumerate() {
-                let v = list[off + i];
-                let mut s = 0.0;
-                for &u in pull.neighbors(v) {
-                    s += x[u as usize] * inv_deg[u as usize];
-                }
-                let val = base + damp * s;
-                d += (val - x[v as usize]).abs();
-                *yv = val;
+    iterate_guarded(
+        |x, inv_deg, v| {
+            let mut s = 0.0;
+            for &u in pull.neighbors(v) {
+                s += x[u as usize] * inv_deg[u as usize];
             }
-            d
-        };
-        let diff = match sched {
-            Some(s) => s.map_reduce_slice_mut(compact, 0.0f64, body, |a, b| a + b),
-            None => body(0, compact),
-        };
-        for (i, &v) in ws.active_list.iter().enumerate() {
-            ws.x[v as usize] = ws.y[i];
-        }
-        if diff < cfg.tol {
-            converged = true;
-            break;
-        }
-    }
-    PrStats {
-        iterations,
-        converged,
-        active_vertices: n_act,
-    }
+            s
+        },
+        has_dangling,
+        init,
+        cfg,
+        sched,
+        ws,
+    )
 }
 
 /// Convenience wrapper allocating a fresh workspace and returning the rank
@@ -482,7 +711,7 @@ pub fn pagerank_csr(
 /// );
 /// let (ranks, stats) = pagerank_window_vec(
 ///     &t, &t, TimeRange::new(0, 10), Init::Uniform, &PrConfig::default(), None,
-/// );
+/// ).unwrap();
 /// assert!(stats.converged);
 /// assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
 /// assert!(ranks[1] > ranks[0], "the middle vertex is most central");
@@ -494,16 +723,21 @@ pub fn pagerank_window_vec(
     init: Init<'_>,
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
-) -> (Vec<f64>, PrStats) {
+) -> Result<(Vec<f64>, PrStats), KernelError> {
     let mut ws = PrWorkspace::default();
-    let stats = pagerank_window(pull, push, range, init, cfg, sched, &mut ws);
-    (ws.x, stats)
+    let stats = pagerank_window(pull, push, range, init, cfg, sched, &mut ws)?;
+    Ok((ws.x, stats))
 }
 
 /// Fills `x` according to `init` over the active set: the shared
 /// initialization semantics (uniform / provided / partial Eq. 4) used by
 /// every kernel in the workspace, including the streaming baseline.
-pub fn initialize(init: Init<'_>, active: &[bool], n_act: f64, x: &mut [f64]) {
+pub fn initialize(
+    init: Init<'_>,
+    active: &[bool],
+    n_act: f64,
+    x: &mut [f64],
+) -> Result<(), KernelError> {
     let n = active.len();
     match init {
         Init::Uniform => {
@@ -512,7 +746,13 @@ pub fn initialize(init: Init<'_>, active: &[bool], n_act: f64, x: &mut [f64]) {
             }
         }
         Init::Provided(p) => {
-            assert_eq!(p.len(), n, "provided init has wrong length");
+            if p.len() != n {
+                return Err(KernelError::BadVectorLength {
+                    what: "provided init",
+                    expected: n,
+                    got: p.len(),
+                });
+            }
             let mut sum = 0.0;
             for v in 0..n {
                 if active[v] && p[v] > 0.0 {
@@ -520,8 +760,7 @@ pub fn initialize(init: Init<'_>, active: &[bool], n_act: f64, x: &mut [f64]) {
                 }
             }
             if sum <= 0.0 {
-                initialize(Init::Uniform, active, n_act, x);
-                return;
+                return initialize(Init::Uniform, active, n_act, x);
             }
             for v in 0..n {
                 x[v] = if active[v] && p[v] > 0.0 {
@@ -532,7 +771,13 @@ pub fn initialize(init: Init<'_>, active: &[bool], n_act: f64, x: &mut [f64]) {
             }
         }
         Init::Partial(prev) => {
-            assert_eq!(prev.len(), n, "previous ranks have wrong length");
+            if prev.len() != n {
+                return Err(KernelError::BadVectorLength {
+                    what: "previous ranks",
+                    expected: n,
+                    got: prev.len(),
+                });
+            }
             // Eq. 4: shared vertices keep their scaled rank so the shared
             // mass is |Vi ∩ Vi-1| / |Vi|; newcomers take the uniform share.
             let mut shared = 0usize;
@@ -544,8 +789,7 @@ pub fn initialize(init: Init<'_>, active: &[bool], n_act: f64, x: &mut [f64]) {
                 }
             }
             if shared == 0 || shared_sum <= 0.0 {
-                initialize(Init::Uniform, active, n_act, x);
-                return;
+                return initialize(Init::Uniform, active, n_act, x);
             }
             let factor = (shared as f64 / n_act) / shared_sum;
             for v in 0..n {
@@ -559,6 +803,7 @@ pub fn initialize(init: Init<'_>, active: &[bool], n_act: f64, x: &mut [f64]) {
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -573,6 +818,7 @@ mod tests {
             alpha: 0.15,
             tol: 1e-12,
             max_iters: 500,
+            ..PrConfig::default()
         }
     }
 
@@ -622,11 +868,13 @@ mod tests {
             TimeRange::new(0, 40),
             TimeRange::new(26, 40),
         ] {
-            let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+            let (x, stats) =
+                pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
             let edges = window_edges(&events, range, true);
             let r = reference_pagerank(6, &edges, &cfg());
             assert_close(&x, &r, 1e-9);
             assert!(stats.converged);
+            assert!(stats.health.is_clean());
         }
     }
 
@@ -636,7 +884,7 @@ mod tests {
         let out = TemporalCsr::from_events(6, &events, false);
         let pull = out.transpose();
         let range = TimeRange::new(0, 25);
-        let (x, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None);
+        let (x, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None).unwrap();
         let edges = window_edges(&events, range, false);
         let r = reference_pagerank(6, &edges, &cfg());
         assert_close(&x, &r, 1e-9);
@@ -647,11 +895,12 @@ mod tests {
         let events = sample_events();
         let t = TemporalCsr::from_events(6, &events, true);
         let range = TimeRange::new(0, 40);
-        let (seq, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+        let (seq, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
         for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
             for g in [1, 2, 64] {
                 let s = Scheduler::new(part, g);
-                let (par, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), Some(&s));
+                let (par, _) =
+                    pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), Some(&s)).unwrap();
                 assert_close(&seq, &par, 1e-9);
             }
         }
@@ -661,7 +910,8 @@ mod tests {
     fn empty_window_returns_zero() {
         let t = TemporalCsr::from_events(3, &[Event::new(0, 1, 5)], true);
         let (x, stats) =
-            pagerank_window_vec(&t, &t, TimeRange::new(10, 20), Init::Uniform, &cfg(), None);
+            pagerank_window_vec(&t, &t, TimeRange::new(10, 20), Init::Uniform, &cfg(), None)
+                .unwrap();
         assert_eq!(x, vec![0.0; 3]);
         assert_eq!(stats.active_vertices, 0);
         assert!(stats.converged);
@@ -669,11 +919,20 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_universes_is_an_error() {
+        let a = TemporalCsr::from_events(3, &[Event::new(0, 1, 5)], true);
+        let b = TemporalCsr::from_events(4, &[Event::new(0, 1, 5)], true);
+        let err = pagerank_window_vec(&a, &b, TimeRange::new(0, 10), Init::Uniform, &cfg(), None)
+            .unwrap_err();
+        assert_eq!(err, KernelError::MismatchedUniverses { pull: 3, push: 4 });
+    }
+
+    #[test]
     fn ranks_form_distribution_over_active_set() {
         let events = sample_events();
         let t = TemporalCsr::from_events(6, &events, true);
         let range = TimeRange::new(0, 20); // vertices 4,5 inactive
-        let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+        let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
         assert_eq!(stats.active_vertices, 4);
         assert_eq!(x[4], 0.0);
         assert_eq!(x[5], 0.0);
@@ -686,9 +945,10 @@ mod tests {
         let t = TemporalCsr::from_events(6, &events, true);
         let r0 = TimeRange::new(0, 20);
         let r1 = TimeRange::new(10, 35);
-        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &cfg(), None);
-        let (full, _) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &cfg(), None);
-        let (part, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None);
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &cfg(), None).unwrap();
+        let (full, _) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &cfg(), None).unwrap();
+        let (part, _) =
+            pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None).unwrap();
         assert_close(&full, &part, 1e-8);
     }
 
@@ -706,10 +966,11 @@ mod tests {
             alpha: 0.15,
             tol: 1e-10,
             max_iters: 200,
+            ..PrConfig::default()
         };
-        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &c, None);
-        let (_, full) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &c, None);
-        let (_, part) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &c, None);
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &c, None).unwrap();
+        let (_, full) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &c, None).unwrap();
+        let (_, part) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &c, None).unwrap();
         assert!(
             part.iterations <= full.iterations,
             "partial {} vs full {}",
@@ -724,7 +985,7 @@ mod tests {
         let active = vec![true, true, true, false];
         let prev = vec![0.7, 0.3, 0.0, 0.0];
         let mut x = vec![0.0; 4];
-        initialize(Init::Partial(&prev), &active, 3.0, &mut x);
+        initialize(Init::Partial(&prev), &active, 3.0, &mut x).unwrap();
         assert!((x[0] + x[1] - 2.0 / 3.0).abs() < 1e-12);
         assert!((x[2] - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(x[3], 0.0);
@@ -737,7 +998,7 @@ mod tests {
         let active = vec![false, false, true, true];
         let prev = vec![0.5, 0.5, 0.0, 0.0];
         let mut x = vec![0.0; 4];
-        initialize(Init::Partial(&prev), &active, 2.0, &mut x);
+        initialize(Init::Partial(&prev), &active, 2.0, &mut x).unwrap();
         assert_eq!(x, vec![0.0, 0.0, 0.5, 0.5]);
     }
 
@@ -746,10 +1007,25 @@ mod tests {
         let active = vec![true, true, false];
         let p = vec![3.0, 1.0, 5.0];
         let mut x = vec![0.0; 3];
-        initialize(Init::Provided(&p), &active, 2.0, &mut x);
+        initialize(Init::Provided(&p), &active, 2.0, &mut x).unwrap();
         assert!((x[0] - 0.75).abs() < 1e-12);
         assert!((x[1] - 0.25).abs() < 1e-12);
         assert_eq!(x[2], 0.0);
+    }
+
+    #[test]
+    fn wrong_length_init_is_an_error() {
+        let active = vec![true, true];
+        let p = vec![1.0];
+        let mut x = vec![0.0; 2];
+        assert!(matches!(
+            initialize(Init::Provided(&p), &active, 2.0, &mut x),
+            Err(KernelError::BadVectorLength { .. })
+        ));
+        assert!(matches!(
+            initialize(Init::Partial(&p), &active, 2.0, &mut x),
+            Err(KernelError::BadVectorLength { .. })
+        ));
     }
 
     #[test]
@@ -760,9 +1036,10 @@ mod tests {
             alpha: 0.15,
             tol: 0.0, // unreachable tolerance
             max_iters: 7,
+            ..PrConfig::default()
         };
         let (_, stats) =
-            pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None);
+            pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None).unwrap();
         assert_eq!(stats.iterations, 7);
         assert!(!stats.converged);
     }
@@ -782,8 +1059,8 @@ mod tests {
             true,
         );
         let r = TimeRange::new(0, 5);
-        let (a, _) = pagerank_window_vec(&once, &once, r, Init::Uniform, &cfg(), None);
-        let (b, _) = pagerank_window_vec(&thrice, &thrice, r, Init::Uniform, &cfg(), None);
+        let (a, _) = pagerank_window_vec(&once, &once, r, Init::Uniform, &cfg(), None).unwrap();
+        let (b, _) = pagerank_window_vec(&thrice, &thrice, r, Init::Uniform, &cfg(), None).unwrap();
         assert_close(&a, &b, 1e-12);
     }
 
@@ -801,7 +1078,8 @@ mod tests {
             &cfg(),
             None,
             &mut ws,
-        );
+        )
+        .unwrap();
         let stats = pagerank_window(
             &t,
             &t,
@@ -810,9 +1088,11 @@ mod tests {
             &cfg(),
             None,
             &mut ws,
-        );
+        )
+        .unwrap();
         let (fresh, fresh_stats) =
-            pagerank_window_vec(&t, &t, TimeRange::new(30, 35), Init::Uniform, &cfg(), None);
+            pagerank_window_vec(&t, &t, TimeRange::new(30, 35), Init::Uniform, &cfg(), None)
+                .unwrap();
         assert_eq!(stats.active_vertices, fresh_stats.active_vertices);
         assert_close(ws.ranks(), &fresh, 1e-12);
     }
@@ -825,10 +1105,12 @@ mod tests {
         let t = TemporalCsr::from_events(6, &events, true);
         let idx = WindowIndex::build(&t, None, &ranges);
         for (j, &range) in ranges.iter().enumerate() {
-            let (plain, ps) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+            let (plain, ps) =
+                pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
             let mut ws = PrWorkspace::default();
             let is =
-                pagerank_window_indexed(&t, &t, &idx.view(j), Init::Uniform, &cfg(), None, &mut ws);
+                pagerank_window_indexed(&t, &t, &idx.view(j), Init::Uniform, &cfg(), None, &mut ws)
+                    .unwrap();
             assert_eq!(ps, is, "window {j}");
             assert_eq!(plain, ws.x, "window {j} ranks must be bit-identical");
         }
@@ -839,7 +1121,7 @@ mod tests {
         let s = Scheduler::new(Partitioner::Simple, 2);
         for (j, &range) in ranges.iter().enumerate() {
             let (plain, _) =
-                pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), Some(&s));
+                pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), Some(&s)).unwrap();
             let mut ws = PrWorkspace::default();
             pagerank_window_indexed(
                 &pull,
@@ -849,7 +1131,8 @@ mod tests {
                 &cfg(),
                 Some(&s),
                 &mut ws,
-            );
+            )
+            .unwrap();
             assert_eq!(plain, ws.x, "directed window {j}");
         }
     }
@@ -860,7 +1143,8 @@ mod tests {
         let edges = vec![(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 1), (0, 3)];
         let g = Csr::from_edges(5, edges.clone(), true);
         let mut ws = PrWorkspace::default();
-        let stats = crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), None, &mut ws);
+        let stats =
+            crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), None, &mut ws).unwrap();
         let mut sym = Vec::new();
         for &(u, v) in &edges {
             sym.push((u, v));
@@ -878,7 +1162,7 @@ mod tests {
         let out = Csr::from_edges(3, edges.clone(), false);
         let pull = out.transpose();
         let mut ws = PrWorkspace::default();
-        crate::pagerank::pagerank_csr(&pull, &out, Init::Uniform, &cfg(), None, &mut ws);
+        crate::pagerank::pagerank_csr(&pull, &out, Init::Uniform, &cfg(), None, &mut ws).unwrap();
         let r = reference_pagerank(3, &edges, &cfg());
         assert_close(ws.ranks(), &r, 1e-9);
     }
@@ -891,10 +1175,135 @@ mod tests {
             .collect();
         let g = Csr::from_edges(20, edges, true);
         let mut seq = PrWorkspace::default();
-        crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), None, &mut seq);
+        crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), None, &mut seq).unwrap();
         let s = Scheduler::new(Partitioner::Simple, 3);
         let mut par = PrWorkspace::default();
-        crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), Some(&s), &mut par);
+        crate::pagerank::pagerank_csr(&g, &g, Init::Uniform, &cfg(), Some(&s), &mut par).unwrap();
         assert_close(seq.ranks(), par.ranks(), 1e-9);
+    }
+
+    // --- Numeric-health guards and fault injection -----------------------
+
+    #[test]
+    fn guards_do_not_change_healthy_ranks() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let range = TimeRange::new(0, 40);
+        let on = cfg();
+        let off = PrConfig {
+            guard: GuardConfig::off(),
+            ..cfg()
+        };
+        let (xon, son) = pagerank_window_vec(&t, &t, range, Init::Uniform, &on, None).unwrap();
+        let (xoff, soff) = pagerank_window_vec(&t, &t, range, Init::Uniform, &off, None).unwrap();
+        assert_eq!(xon, xoff, "guards must be read-only observers");
+        assert_eq!(son, soff);
+    }
+
+    #[test]
+    fn injected_nan_recovers_via_restart() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let range = TimeRange::new(0, 40);
+        let c = PrConfig {
+            fault: Some(FaultKind::InjectNan { at_iter: 3 }),
+            ..cfg()
+        };
+        let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &c, None).unwrap();
+        assert_eq!(stats.health.restarts, 1);
+        assert!(stats.converged);
+        let (clean, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
+        assert_close(&x, &clean, 1e-9);
+    }
+
+    #[test]
+    fn injected_nan_fails_under_fail_policy() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let c = PrConfig {
+            guard: GuardConfig {
+                policy: NumericPolicy::Fail,
+                ..GuardConfig::default()
+            },
+            fault: Some(FaultKind::InjectNan { at_iter: 2 }),
+            ..cfg()
+        };
+        let err = pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KernelError::Numeric {
+                iteration: 2,
+                fault: NumericFault::NonFinite { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupted_reciprocal_is_detected() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let c = PrConfig {
+            fault: Some(FaultKind::CorruptReciprocal),
+            ..cfg()
+        };
+        // Persistent drift exhausts the renormalization budget and
+        // escalates instead of spinning silently.
+        let err = pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KernelError::Numeric {
+                fault: NumericFault::MassDrift { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn guards_off_lets_nan_through_silently() {
+        // The contrast case justifying the guards: without them the kernel
+        // runs to the cap and hands back a poisoned vector.
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let c = PrConfig {
+            guard: GuardConfig::off(),
+            fault: Some(FaultKind::InjectNan { at_iter: 2 }),
+            max_iters: 10,
+            ..cfg()
+        };
+        let (x, stats) =
+            pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None).unwrap();
+        assert!(!stats.converged);
+        assert!(x.iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn forced_non_convergence_runs_to_cap() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let c = PrConfig {
+            fault: Some(FaultKind::ForceNonConvergence),
+            max_iters: 12,
+            ..cfg()
+        };
+        let (_, stats) =
+            pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None).unwrap();
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 12);
+    }
+
+    #[test]
+    fn injected_panic_unwinds() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(6, &events, true);
+        let c = PrConfig {
+            fault: Some(FaultKind::PanicInKernel),
+            ..cfg()
+        };
+        let r = std::panic::catch_unwind(|| {
+            pagerank_window_vec(&t, &t, TimeRange::new(0, 40), Init::Uniform, &c, None)
+        });
+        assert!(r.is_err());
     }
 }

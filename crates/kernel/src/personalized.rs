@@ -4,7 +4,8 @@
 //! vertices" — the natural tool for the paper's §3.2 use cases (tracking
 //! specific actors through an organizational crisis).
 
-use crate::pagerank::{PrConfig, PrStats, PrWorkspace};
+use crate::error::KernelError;
+use crate::pagerank::{guard_check, GuardAction, PrConfig, PrHealth, PrStats, PrWorkspace};
 use crate::scheduler::Scheduler;
 use tempopr_graph::{TemporalCsr, TimeRange, VertexId};
 
@@ -24,14 +25,28 @@ pub fn pagerank_window_personalized(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
-    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
-    assert_eq!(preference.len(), n, "preference has wrong length");
-    assert!(
-        preference.iter().all(|&p| p >= 0.0),
-        "preference weights must be non-negative"
-    );
+    if push.num_vertices() != n {
+        return Err(KernelError::MismatchedUniverses {
+            pull: n,
+            push: push.num_vertices(),
+        });
+    }
+    if preference.len() != n {
+        return Err(KernelError::BadVectorLength {
+            what: "preference",
+            expected: n,
+            got: preference.len(),
+        });
+    }
+    if !preference.iter().all(|&p| p >= 0.0) {
+        return Err(KernelError::BadVectorLength {
+            what: "preference (negative weight)",
+            expected: n,
+            got: preference.len(),
+        });
+    }
     ws.ensure(n);
     let directed = !std::ptr::eq(pull, push);
 
@@ -53,11 +68,7 @@ pub fn pagerank_window_personalized(
     }
     let n_act = ws.active_list.len();
     if n_act == 0 {
-        return PrStats {
-            iterations: 0,
-            converged: true,
-            active_vertices: 0,
-        };
+        return Ok(PrStats::empty());
     }
     let n_act_f = n_act as f64;
 
@@ -83,6 +94,7 @@ pub fn pagerank_window_personalized(
     let damp = 1.0 - alpha;
     let mut iterations = 0;
     let mut converged = false;
+    let mut health = PrHealth::default();
     while iterations < cfg.max_iters {
         iterations += 1;
         let list = &ws.active_list;
@@ -100,6 +112,7 @@ pub fn pagerank_window_personalized(
         let compact = &mut ws.y[..n_act];
         let body = |off: usize, slice: &mut [f64]| {
             let mut d = 0.0;
+            let mut m = 0.0;
             for (i, yv) in slice.iter_mut().enumerate() {
                 let v = list[off + i];
                 let mut s = 0.0;
@@ -111,14 +124,32 @@ pub fn pagerank_window_personalized(
                 }
                 let val = (alpha + damp * dangling) * tele_ref[v as usize] + damp * s;
                 d += (val - x[v as usize]).abs();
+                m += val;
                 *yv = val;
             }
-            d
+            (d, m)
         };
-        let diff = match sched {
-            Some(s) => s.map_reduce_slice_mut(compact, 0.0f64, body, |a, b| a + b),
+        let (diff, mass) = match sched {
+            Some(s) => s.map_reduce_slice_mut(compact, (0.0f64, 0.0f64), body, |a, b| {
+                (a.0 + b.0, a.1 + b.1)
+            }),
             None => body(0, compact),
         };
+        match guard_check(diff, mass, 0, iterations, cfg, &mut health)? {
+            GuardAction::Proceed => {}
+            GuardAction::Renormalize { scale } => {
+                for (i, &v) in ws.active_list.iter().enumerate() {
+                    ws.x[v as usize] = ws.y[i] * scale;
+                }
+                continue;
+            }
+            GuardAction::Restart => {
+                // Restart from the teleport distribution (the PPR analogue
+                // of the uniform restart).
+                ws.x.copy_from_slice(&tele);
+                continue;
+            }
+        }
         for (i, &v) in ws.active_list.iter().enumerate() {
             ws.x[v as usize] = ws.y[i];
         }
@@ -127,11 +158,12 @@ pub fn pagerank_window_personalized(
             break;
         }
     }
-    PrStats {
+    Ok(PrStats {
         iterations,
         converged,
         active_vertices: n_act,
-    }
+        health,
+    })
 }
 
 #[cfg(test)]
@@ -145,6 +177,7 @@ mod tests {
             alpha: 0.15,
             tol: 1e-12,
             max_iters: 500,
+            ..PrConfig::default()
         }
     }
 
@@ -221,10 +254,10 @@ mod tests {
         let events = sample_events();
         let t = TemporalCsr::from_events(30, &events, true);
         let range = TimeRange::new(0, 200);
-        let (std_pr, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+        let (std_pr, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
         let pref = vec![1.0; 30];
         let mut ws = PrWorkspace::default();
-        let stats = pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws);
+        let stats = pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws).unwrap();
         assert!(stats.converged);
         for (v, (a, b)) in std_pr.iter().zip(ws.x.iter()).enumerate() {
             assert!((a - b).abs() < 1e-9, "vertex {v}: {a} vs {b}");
@@ -240,7 +273,7 @@ mod tests {
         pref[3] = 2.0;
         pref[7] = 1.0;
         let mut ws = PrWorkspace::default();
-        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws);
+        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws).unwrap();
         let expect = dense_ppr(30, &sym(&events, range), &pref, 0.15);
         for (v, (a, b)) in ws.x.iter().zip(expect.iter()).enumerate() {
             assert!((a - b).abs() < 1e-8, "vertex {v}: {a} vs {b}");
@@ -259,8 +292,8 @@ mod tests {
         let mut pref = vec![0.0; 5];
         pref[4] = 1.0; // vertex 4 is inactive in this window
         let mut ws = PrWorkspace::default();
-        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws);
-        let (std_pr, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws).unwrap();
+        let (std_pr, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
         for (a, b) in ws.x.iter().zip(std_pr.iter()) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -274,21 +307,20 @@ mod tests {
         let mut pref = vec![0.0; 30];
         pref[0] = 1.0;
         let mut seq = PrWorkspace::default();
-        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut seq);
+        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut seq).unwrap();
         let sched = Scheduler::new(crate::scheduler::Partitioner::Simple, 4);
         let mut par = PrWorkspace::default();
-        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), Some(&sched), &mut par);
+        pagerank_window_personalized(&t, &t, range, &pref, &cfg(), Some(&sched), &mut par).unwrap();
         for (a, b) in seq.x.iter().zip(par.x.iter()) {
             assert!((a - b).abs() < 1e-9);
         }
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
     fn negative_preference_rejected() {
         let t = TemporalCsr::from_events(2, &[Event::new(0, 1, 1)], true);
         let mut ws = PrWorkspace::default();
-        pagerank_window_personalized(
+        let r = pagerank_window_personalized(
             &t,
             &t,
             TimeRange::new(0, 10),
@@ -297,6 +329,7 @@ mod tests {
             None,
             &mut ws,
         );
+        assert!(matches!(r, Err(KernelError::BadVectorLength { .. })));
     }
 
     #[test]
@@ -311,7 +344,7 @@ mod tests {
             &cfg(),
             None,
             &mut ws,
-        );
+        ).unwrap();
         assert_eq!(stats.active_vertices, 0);
     }
 }

@@ -17,7 +17,11 @@
 //! kernel wins; blocking pays on windows much larger than the cache —
 //! measured by the `ablations` bench.
 
-use crate::pagerank::{initialize, setup_from_index, Init, PrConfig, PrStats, PrWorkspace};
+use crate::error::{FaultKind, KernelError};
+use crate::pagerank::{
+    corrupt_first_reciprocal, guard_check, initialize, setup_from_index, GuardAction, Init,
+    PrConfig, PrHealth, PrStats, PrWorkspace,
+};
 use tempopr_graph::{TemporalCsr, TimeRange, VertexId, WindowIndexView};
 
 /// Destination vertices per bin (2^16 f64 accumulators ≈ 512 KiB per bin
@@ -45,9 +49,14 @@ pub fn pagerank_window_blocking(
     init: Init<'_>,
     cfg: &PrConfig,
     ws: &mut BlockingWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
-    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    if push.num_vertices() != n {
+        return Err(KernelError::MismatchedUniverses {
+            pull: n,
+            push: push.num_vertices(),
+        });
+    }
     let directed = !std::ptr::eq(pull, push);
     let prw = &mut ws.pr;
     prw.ensure(n);
@@ -82,9 +91,14 @@ pub fn pagerank_window_blocking_indexed(
     init: Init<'_>,
     cfg: &PrConfig,
     ws: &mut BlockingWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
-    assert_eq!(push.num_vertices(), n, "pull/push vertex universes differ");
+    if push.num_vertices() != n {
+        return Err(KernelError::MismatchedUniverses {
+            pull: n,
+            push: push.num_vertices(),
+        });
+    }
     let prw = &mut ws.pr;
     prw.ensure(n);
     prw.deg_in.clear();
@@ -94,6 +108,8 @@ pub fn pagerank_window_blocking_indexed(
 
 /// The shared iteration phase of the blocking kernel: initialization plus
 /// bin/accumulate power iteration over the active list already in `ws.pr`.
+/// The numeric-health guards fold the rank-mass sum into the existing
+/// diff pass (see [`crate::GuardConfig`]).
 fn blocking_iterate(
     push: &TemporalCsr,
     range: TimeRange,
@@ -101,19 +117,18 @@ fn blocking_iterate(
     init: Init<'_>,
     cfg: &PrConfig,
     ws: &mut BlockingWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = push.num_vertices();
     let prw = &mut ws.pr;
     let n_act = prw.active_list.len();
     if n_act == 0 {
-        return PrStats {
-            iterations: 0,
-            converged: true,
-            active_vertices: 0,
-        };
+        return Ok(PrStats::empty());
     }
     let n_act_f = n_act as f64;
-    initialize(init, &prw.active, n_act_f, &mut prw.x);
+    initialize(init, &prw.active, n_act_f, &mut prw.x)?;
+    if let Some(FaultKind::CorruptReciprocal) = cfg.fault {
+        corrupt_first_reciprocal(&prw.active_list, &mut prw.inv_deg);
+    }
 
     let num_bins = (n >> BIN_SHIFT) + 1;
     ws.bins.resize_with(num_bins, Vec::new);
@@ -125,8 +140,21 @@ fn blocking_iterate(
     let damp = 1.0 - alpha;
     let mut iterations = 0;
     let mut converged = false;
+    let mut health = PrHealth::default();
     while iterations < cfg.max_iters {
         iterations += 1;
+        match cfg.fault {
+            Some(FaultKind::InjectNan { at_iter }) if at_iter == iterations => {
+                let v = prw.active_list[0] as usize;
+                prw.x[v] = f64::NAN;
+            }
+            Some(FaultKind::PanicInKernel) if iterations == 1 => {
+                // Intentional: models a latent kernel bug for the driver's
+                // panic-isolation path.
+                panic!("fault injection: panic inside blocking kernel");
+            }
+            _ => {}
+        }
         let dangling: f64 = if has_dangling {
             prw.active_list
                 .iter()
@@ -174,24 +202,42 @@ fn blocking_iterate(
             }
             bin.clear();
         }
-        // Diff + write-back.
+        // Diff + mass + write-back.
         let mut diff = 0.0;
+        let mut mass = 0.0;
         for (i, &v) in prw.active_list.iter().enumerate() {
             diff += (prw.y[i] - prw.x[v as usize]).abs();
+            mass += prw.y[i];
+        }
+        match guard_check(diff, mass, 0, iterations, cfg, &mut health)? {
+            GuardAction::Proceed => {}
+            GuardAction::Renormalize { scale } => {
+                for (i, &v) in prw.active_list.iter().enumerate() {
+                    prw.x[v as usize] = prw.y[i] * scale;
+                }
+                continue;
+            }
+            GuardAction::Restart => {
+                for &v in &prw.active_list {
+                    prw.x[v as usize] = 1.0 / n_act_f;
+                }
+                continue;
+            }
         }
         for (i, &v) in prw.active_list.iter().enumerate() {
             prw.x[v as usize] = prw.y[i];
         }
-        if diff < cfg.tol {
+        if diff < cfg.tol && cfg.fault != Some(FaultKind::ForceNonConvergence) {
             converged = true;
             break;
         }
     }
-    PrStats {
+    Ok(PrStats {
         iterations,
         converged,
         active_vertices: n_act,
-    }
+        health,
+    })
 }
 
 #[cfg(test)]
@@ -205,6 +251,7 @@ mod tests {
             alpha: 0.15,
             tol: 1e-12,
             max_iters: 500,
+            ..PrConfig::default()
         }
     }
 
@@ -229,9 +276,9 @@ mod tests {
             TimeRange::new(100, 400),
             TimeRange::new(0, 700),
         ] {
-            let (pullx, ps) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None);
+            let (pullx, ps) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
             let mut ws = BlockingWorkspace::default();
-            let bs = pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut ws);
+            let bs = pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut ws).unwrap();
             assert_eq!(ps.active_vertices, bs.active_vertices);
             for (v, (a, b)) in pullx.iter().zip(ws.pr.x.iter()).enumerate() {
                 assert!((a - b).abs() < 1e-9, "vertex {v}: {a} vs {b}");
@@ -245,9 +292,9 @@ mod tests {
         let out = TemporalCsr::from_events(40, &events, false);
         let pull = out.transpose();
         let range = TimeRange::new(0, 400);
-        let (pullx, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None);
+        let (pullx, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None).unwrap();
         let mut ws = BlockingWorkspace::default();
-        pagerank_window_blocking(&pull, &out, range, Init::Uniform, &cfg(), &mut ws);
+        pagerank_window_blocking(&pull, &out, range, Init::Uniform, &cfg(), &mut ws).unwrap();
         for (v, (a, b)) in pullx.iter().zip(ws.pr.x.iter()).enumerate() {
             assert!((a - b).abs() < 1e-9, "vertex {v}");
         }
@@ -259,10 +306,10 @@ mod tests {
         let t = TemporalCsr::from_events(40, &events, true);
         let r0 = TimeRange::new(0, 300);
         let r1 = TimeRange::new(100, 400);
-        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &cfg(), None);
-        let (expect, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None);
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &cfg(), None).unwrap();
+        let (expect, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None).unwrap();
         let mut ws = BlockingWorkspace::default();
-        pagerank_window_blocking(&t, &t, r1, Init::Partial(&prev), &cfg(), &mut ws);
+        pagerank_window_blocking(&t, &t, r1, Init::Partial(&prev), &cfg(), &mut ws).unwrap();
         for (v, (a, b)) in expect.iter().zip(ws.pr.x.iter()).enumerate() {
             assert!((a - b).abs() < 1e-9, "vertex {v}");
         }
@@ -280,7 +327,7 @@ mod tests {
         let idx = WindowIndex::build(&t, None, &ranges);
         for (j, &range) in ranges.iter().enumerate() {
             let mut plain = BlockingWorkspace::default();
-            let ps = pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut plain);
+            let ps = pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut plain).unwrap();
             let mut ixd = BlockingWorkspace::default();
             let is = pagerank_window_blocking_indexed(
                 &t,
@@ -289,7 +336,7 @@ mod tests {
                 Init::Uniform,
                 &cfg(),
                 &mut ixd,
-            );
+            ).unwrap();
             assert_eq!(ps, is, "window {j}");
             assert_eq!(
                 plain.pr.x, ixd.pr.x,
@@ -302,7 +349,7 @@ mod tests {
         let didx = WindowIndex::build(&out, Some(&pull), &ranges);
         for (j, &range) in ranges.iter().enumerate() {
             let mut plain = BlockingWorkspace::default();
-            pagerank_window_blocking(&pull, &out, range, Init::Uniform, &cfg(), &mut plain);
+            pagerank_window_blocking(&pull, &out, range, Init::Uniform, &cfg(), &mut plain).unwrap();
             let mut ixd = BlockingWorkspace::default();
             pagerank_window_blocking_indexed(
                 &pull,
@@ -311,7 +358,7 @@ mod tests {
                 Init::Uniform,
                 &cfg(),
                 &mut ixd,
-            );
+            ).unwrap();
             assert_eq!(plain.pr.x, ixd.pr.x, "directed window {j}");
         }
     }
@@ -327,7 +374,7 @@ mod tests {
             Init::Uniform,
             &cfg(),
             &mut ws,
-        );
+        ).unwrap();
         assert_eq!(stats.active_vertices, 0);
         assert!(stats.converged);
     }
@@ -344,7 +391,7 @@ mod tests {
             Init::Uniform,
             &cfg(),
             &mut ws,
-        );
+        ).unwrap();
         pagerank_window_blocking(
             &t,
             &t,
@@ -352,9 +399,9 @@ mod tests {
             Init::Uniform,
             &cfg(),
             &mut ws,
-        );
+        ).unwrap();
         let (expect, _) =
-            pagerank_window_vec(&t, &t, TimeRange::new(0, 100), Init::Uniform, &cfg(), None);
+            pagerank_window_vec(&t, &t, TimeRange::new(0, 100), Init::Uniform, &cfg(), None).unwrap();
         for (v, (a, b)) in expect.iter().zip(ws.pr.x.iter()).enumerate() {
             assert!((a - b).abs() < 1e-9, "vertex {v}");
         }

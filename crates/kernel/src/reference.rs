@@ -76,6 +76,7 @@ mod tests {
             alpha: 0.15,
             tol: 1e-12,
             max_iters: 500,
+            ..PrConfig::default()
         }
     }
 

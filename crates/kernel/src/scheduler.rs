@@ -246,12 +246,13 @@ impl Scheduler {
 /// Builds a rayon thread pool with `threads` workers (0 = rayon default,
 /// i.e. all cores). Experiments use dedicated pools so thread count is an
 /// explicit experimental variable instead of global state.
-pub fn thread_pool(threads: usize) -> rayon::ThreadPool {
+pub fn thread_pool(threads: usize) -> Result<rayon::ThreadPool, crate::KernelError> {
     let mut b = rayon::ThreadPoolBuilder::new();
     if threads > 0 {
         b = b.num_threads(threads);
     }
-    b.build().expect("failed to build rayon thread pool")
+    b.build()
+        .map_err(|e| crate::KernelError::ThreadPool(e.to_string()))
 }
 
 #[cfg(test)]
@@ -413,7 +414,7 @@ mod tests {
 
     #[test]
     fn custom_thread_pool_runs_work() {
-        let pool = thread_pool(2);
+        let pool = thread_pool(2).unwrap();
         let s = Scheduler::new(Partitioner::Auto, 1);
         let sum = pool.install(|| s.map_reduce_range(10, 0usize, |r| r.sum(), |a, b| a + b));
         assert_eq!(sum, 45);

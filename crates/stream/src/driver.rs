@@ -11,10 +11,11 @@
 
 use crate::pagerank::{local_push_pagerank, streaming_pagerank};
 use crate::store::StreamingGraph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use tempopr_core::RetainMode;
-use tempopr_core::{RunOutput, SparseRanks, WindowOutput};
+use tempopr_core::{EngineError, RunOutput, SparseRanks, WindowOutput, WindowStatus};
 use tempopr_graph::{EventLog, WindowSpec};
-use tempopr_kernel::{thread_pool, Init, PrConfig, PrWorkspace, Scheduler};
+use tempopr_kernel::{thread_pool, Init, PrConfig, PrStats, PrWorkspace, Scheduler};
 
 /// How ranks are updated after each window's batch of edge updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,18 +72,28 @@ impl Default for StreamingConfig {
 ///     8,
 /// ).unwrap();
 /// let spec = WindowSpec::covering(&log, 20, 10).unwrap();
-/// let out = run_streaming(&log, spec, &StreamingConfig::default());
+/// let out = run_streaming(&log, spec, &StreamingConfig::default()).unwrap();
 /// assert_eq!(out.windows.len(), spec.count);
 /// ```
-pub fn run_streaming(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) -> RunOutput {
+///
+/// Errors only on setup (an unbuildable thread pool); a window whose
+/// kernel errors or panics is reported as [`WindowStatus::Failed`] — the
+/// replay continues with the next window from a cold start and the output
+/// is flagged degraded.
+pub fn run_streaming(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &StreamingConfig,
+) -> Result<RunOutput, EngineError> {
     let inner = || run_streaming_inner(log, spec, cfg);
-    let out = if cfg.threads > 0 {
-        thread_pool(cfg.threads).install(inner)
+    let mut out = if cfg.threads > 0 {
+        thread_pool(cfg.threads)?.install(inner)
     } else {
         inner()
     };
+    out.finalize_status();
     out.assert_complete(spec.count);
-    out
+    Ok(out)
 }
 
 fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) -> RunOutput {
@@ -115,14 +126,18 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
             let prev_range = spec.window(w - 1);
             let del_hi = (range.start - 1).min(prev_range.end);
             for e in log.slice_by_time(prev_range.start, del_hi) {
-                graph.delete_event(e.u, e.v);
+                let removed = graph.delete_event(e.u, e.v);
+                debug_assert!(removed, "window {w}: deleting an event never inserted");
                 touched.push(e.u);
                 touched.push(e.v);
             }
         }
 
-        // Recompute the analysis.
-        let stats = match cfg.incremental {
+        // Recompute the analysis. A kernel error or panic poisons only
+        // this window: the store itself is untouched by the kernels, so
+        // the replay continues, but the warm-start chain is broken (the
+        // workspace is discarded and the next window starts cold).
+        let attempt = catch_unwind(AssertUnwindSafe(|| match cfg.incremental {
             IncrementalMode::Recompute => {
                 streaming_pagerank(&graph, Init::Uniform, &cfg.pr, sched, &mut ws)
             }
@@ -147,23 +162,49 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
                     streaming_pagerank(&graph, Init::Uniform, &cfg.pr, sched, &mut ws)
                 }
             }
+        }));
+        let (stats, status) = match attempt {
+            Ok(Ok(stats)) => (stats, WindowStatus::Ok),
+            Ok(Err(e)) => (
+                PrStats::empty(),
+                WindowStatus::Failed {
+                    diagnostic: e.to_string(),
+                },
+            ),
+            Err(_) => {
+                ws = PrWorkspace::default();
+                (
+                    PrStats::empty(),
+                    WindowStatus::Failed {
+                        diagnostic: "kernel panicked".to_string(),
+                    },
+                )
+            }
         };
-        prev.copy_from_slice(ws.ranks());
-        have_prev = true;
-
-        let sparse = SparseRanks::from_dense(ws.ranks());
+        let sparse = if status.is_valid() {
+            prev.copy_from_slice(ws.ranks());
+            have_prev = true;
+            SparseRanks::from_dense(ws.ranks())
+        } else {
+            have_prev = false;
+            SparseRanks::from_dense(&[])
+        };
         let fingerprint = sparse.fingerprint();
         windows.push(WindowOutput {
             window: w,
             stats,
             fingerprint,
+            status,
             ranks: match cfg.retain {
                 RetainMode::Full => Some(sparse),
                 RetainMode::Summary => None,
             },
         });
     }
-    RunOutput { windows }
+    RunOutput {
+        windows,
+        degraded: false, // recomputed by finalize_status
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +231,7 @@ mod tests {
                 alpha: 0.15,
                 tol: 1e-12,
                 max_iters: 500,
+                ..PrConfig::default()
             },
             ..Default::default()
         }
@@ -201,6 +243,7 @@ mod tests {
                 alpha: 0.15,
                 tol: 1e-12,
                 max_iters: 500,
+                ..PrConfig::default()
             },
             ..Default::default()
         }
@@ -210,8 +253,8 @@ mod tests {
     fn streaming_matches_offline_overlapping_windows() {
         let log = test_log();
         let spec = WindowSpec::covering(&log, 120, 40).unwrap();
-        let s = run_streaming(&log, spec, &tight());
-        let o = run_offline(&log, spec, &offline_tight());
+        let s = run_streaming(&log, spec, &tight()).unwrap();
+        let o = run_offline(&log, spec, &offline_tight()).unwrap();
         for (a, b) in s.windows.iter().zip(o.windows.iter()) {
             let d = a
                 .ranks
@@ -228,8 +271,8 @@ mod tests {
         // sw > delta: windows do not overlap; gap events must be skipped.
         let log = test_log();
         let spec = WindowSpec::covering(&log, 50, 90).unwrap();
-        let s = run_streaming(&log, spec, &tight());
-        let o = run_offline(&log, spec, &offline_tight());
+        let s = run_streaming(&log, spec, &tight()).unwrap();
+        let o = run_offline(&log, spec, &offline_tight()).unwrap();
         for (a, b) in s.windows.iter().zip(o.windows.iter()) {
             let d = a
                 .ranks
@@ -244,7 +287,7 @@ mod tests {
     fn all_incremental_modes_agree_roughly() {
         let log = test_log();
         let spec = WindowSpec::covering(&log, 120, 40).unwrap();
-        let warm = run_streaming(&log, spec, &tight());
+        let warm = run_streaming(&log, spec, &tight()).unwrap();
         let cold = run_streaming(
             &log,
             spec,
@@ -252,7 +295,8 @@ mod tests {
                 incremental: IncrementalMode::Recompute,
                 ..tight()
             },
-        );
+        )
+        .unwrap();
         let push = run_streaming(
             &log,
             spec,
@@ -260,7 +304,8 @@ mod tests {
                 incremental: IncrementalMode::LocalPush,
                 ..tight()
             },
-        );
+        )
+        .unwrap();
         for w in 0..spec.count {
             let a = warm.windows[w].ranks.as_ref().unwrap();
             let b = cold.windows[w].ranks.as_ref().unwrap();
@@ -286,7 +331,7 @@ mod tests {
         }
         let log = EventLog::from_unsorted(events, 30).unwrap();
         let spec = WindowSpec::covering(&log, 200, 25).unwrap();
-        let warm = run_streaming(&log, spec, &tight());
+        let warm = run_streaming(&log, spec, &tight()).unwrap();
         let cold = run_streaming(
             &log,
             spec,
@@ -294,7 +339,8 @@ mod tests {
                 incremental: IncrementalMode::Recompute,
                 ..tight()
             },
-        );
+        )
+        .unwrap();
         assert!(
             warm.total_iterations() < cold.total_iterations(),
             "warm {} vs cold {}",
@@ -315,7 +361,8 @@ mod tests {
                 threads: 2,
                 ..tight()
             },
-        );
+        )
+        .unwrap();
         assert!(out.windows.iter().all(|w| w.ranks.is_none()));
         assert_eq!(out.windows.len(), spec.count);
     }

@@ -17,7 +17,7 @@
 //!   moves more than a threshold. Cheap for small batches, approximate.
 
 use crate::store::StreamingGraph;
-use tempopr_kernel::{Init, PrConfig, PrStats, PrWorkspace, Scheduler};
+use tempopr_kernel::{Init, KernelError, PrConfig, PrStats, PrWorkspace, Scheduler};
 
 /// Computes PageRank on the current streaming graph.
 ///
@@ -31,7 +31,7 @@ pub fn streaming_pagerank(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = g.num_vertices();
     ws.ensure(n);
     for v in 0..n {
@@ -45,14 +45,10 @@ pub fn streaming_pagerank(
     }
     let n_act = ws.active_list.len();
     if n_act == 0 {
-        return PrStats {
-            iterations: 0,
-            converged: true,
-            active_vertices: 0,
-        };
+        return Ok(PrStats::empty());
     }
     let n_act_f = n_act as f64;
-    tempopr_kernel::pagerank::initialize(init, &ws.active, n_act_f, &mut ws.x);
+    tempopr_kernel::pagerank::initialize(init, &ws.active, n_act_f, &mut ws.x)?;
 
     let alpha = cfg.alpha;
     let damp = 1.0 - alpha;
@@ -91,11 +87,12 @@ pub fn streaming_pagerank(
             break;
         }
     }
-    PrStats {
+    Ok(PrStats {
         iterations,
         converged,
         active_vertices: n_act,
-    }
+        ..PrStats::empty()
+    })
 }
 
 /// Localized incremental update: Gauss–Seidel sweeps restricted to a dirty
@@ -115,9 +112,15 @@ pub fn local_push_pagerank(
     touched: &[u32],
     cfg: &PrConfig,
     ws: &mut PrWorkspace,
-) -> PrStats {
+) -> Result<PrStats, KernelError> {
     let n = g.num_vertices();
-    assert_eq!(prev.len(), n);
+    if prev.len() != n {
+        return Err(KernelError::BadVectorLength {
+            what: "previous ranks",
+            expected: n,
+            got: prev.len(),
+        });
+    }
     ws.ensure(n);
     let mut n_act = 0usize;
     for v in 0..n {
@@ -130,14 +133,10 @@ pub fn local_push_pagerank(
         }
     }
     if n_act == 0 {
-        return PrStats {
-            iterations: 0,
-            converged: true,
-            active_vertices: 0,
-        };
+        return Ok(PrStats::empty());
     }
     let n_act_f = n_act as f64;
-    tempopr_kernel::pagerank::initialize(Init::Provided(prev), &ws.active, n_act_f, &mut ws.x);
+    tempopr_kernel::pagerank::initialize(Init::Provided(prev), &ws.active, n_act_f, &mut ws.x)?;
     let alpha = cfg.alpha;
     let damp = 1.0 - alpha;
     let base = alpha / n_act_f;
@@ -232,11 +231,12 @@ pub fn local_push_pagerank(
         }
     }
     dirty.iter_mut().for_each(|d| *d = 0.0);
-    PrStats {
+    Ok(PrStats {
         iterations: sweeps,
         converged: frontier.is_empty(),
         active_vertices: n_act,
-    }
+        ..PrStats::empty()
+    })
 }
 
 #[cfg(test)]
@@ -249,6 +249,7 @@ mod tests {
             alpha: 0.15,
             tol: 1e-12,
             max_iters: 500,
+            ..PrConfig::default()
         }
     }
 
@@ -276,7 +277,7 @@ mod tests {
         let pairs = vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (2, 4)];
         let g = build(5, &pairs);
         let mut ws = PrWorkspace::default();
-        let stats = streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut ws);
+        let stats = streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut ws).unwrap();
         let r = reference_pagerank(5, &sym_edges(&pairs), &cfg());
         for (a, b) in ws.ranks().iter().zip(r.iter()) {
             assert!((a - b).abs() < 1e-9);
@@ -292,10 +293,10 @@ mod tests {
             .collect();
         let g = build(20, &pairs);
         let mut seq = PrWorkspace::default();
-        streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut seq);
+        streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut seq).unwrap();
         let s = Scheduler::default();
         let mut par = PrWorkspace::default();
-        streaming_pagerank(&g, Init::Uniform, &cfg(), Some(&s), &mut par);
+        streaming_pagerank(&g, Init::Uniform, &cfg(), Some(&s), &mut par).unwrap();
         for (a, b) in seq.ranks().iter().zip(par.ranks().iter()) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -308,14 +309,14 @@ mod tests {
         pairs.extend((1..12).map(|v| (v, v + 1)));
         let g0 = build(30, &pairs);
         let mut ws = PrWorkspace::default();
-        streaming_pagerank(&g0, Init::Uniform, &cfg(), None, &mut ws);
+        streaming_pagerank(&g0, Init::Uniform, &cfg(), None, &mut ws).unwrap();
         let prev = ws.ranks().to_vec();
         let mut g1 = g0.clone();
         g1.insert_event(25, 26, 99);
         g1.insert_event(3, 9, 100);
         let mut cold_ws = PrWorkspace::default();
-        let cold = streaming_pagerank(&g1, Init::Uniform, &cfg(), None, &mut cold_ws);
-        let warm = streaming_pagerank(&g1, Init::Partial(&prev), &cfg(), None, &mut ws);
+        let cold = streaming_pagerank(&g1, Init::Uniform, &cfg(), None, &mut cold_ws).unwrap();
+        let warm = streaming_pagerank(&g1, Init::Partial(&prev), &cfg(), None, &mut ws).unwrap();
         for (a, b) in ws.ranks().iter().zip(cold_ws.ranks().iter()) {
             assert!((a - b).abs() < 1e-8);
         }
@@ -333,7 +334,7 @@ mod tests {
         pairs.extend((1..12).map(|v| (v, v + 1)));
         let g0 = build(30, &pairs);
         let mut ws = PrWorkspace::default();
-        streaming_pagerank(&g0, Init::Uniform, &cfg(), None, &mut ws);
+        streaming_pagerank(&g0, Init::Uniform, &cfg(), None, &mut ws).unwrap();
         let prev = ws.ranks().to_vec();
         let mut g1 = g0.clone();
         g1.insert_event(3, 9, 100);
@@ -342,10 +343,10 @@ mod tests {
             tol: 1e-10,
             ..cfg()
         };
-        let stats = local_push_pagerank(&g1, &prev, &[3, 9, 25, 26], &c, &mut ws);
+        let stats = local_push_pagerank(&g1, &prev, &[3, 9, 25, 26], &c, &mut ws).unwrap();
         assert!(stats.converged);
         let mut full = PrWorkspace::default();
-        streaming_pagerank(&g1, Init::Uniform, &c, None, &mut full);
+        streaming_pagerank(&g1, Init::Uniform, &c, None, &mut full).unwrap();
         for (v, (a, b)) in ws.ranks().iter().zip(full.ranks().iter()).enumerate() {
             assert!((a - b).abs() < 1e-5, "vertex {v}: {a} vs {b}");
         }
@@ -358,9 +359,9 @@ mod tests {
         let pairs: Vec<(u32, u32)> = (1..10).map(|v| (0, v)).collect();
         let g = build(12, &pairs);
         let mut ws = PrWorkspace::default();
-        streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut ws);
+        streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut ws).unwrap();
         let prev = ws.ranks().to_vec();
-        let stats = local_push_pagerank(&g, &prev, &[], &cfg(), &mut ws);
+        let stats = local_push_pagerank(&g, &prev, &[], &cfg(), &mut ws).unwrap();
         assert!(stats.converged);
         assert!(
             stats.iterations <= 3,
@@ -376,7 +377,7 @@ mod tests {
     fn empty_graph_is_zero() {
         let g = StreamingGraph::new(5);
         let mut ws = PrWorkspace::default();
-        let stats = streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut ws);
+        let stats = streaming_pagerank(&g, Init::Uniform, &cfg(), None, &mut ws).unwrap();
         assert_eq!(stats.active_vertices, 0);
         assert!(ws.ranks().iter().all(|&x| x == 0.0));
     }

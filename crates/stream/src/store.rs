@@ -122,14 +122,14 @@ impl StreamingGraph {
     /// Removes one event's contribution symmetrically. The pair's entry
     /// disappears only when its multiplicity reaches zero.
     ///
-    /// # Panics
-    /// Panics if the pair has no live entry — the driver only deletes
-    /// events it previously inserted.
-    pub fn delete_event(&mut self, u: u32, v: u32) {
-        self.delete_half(u, v);
-        if u != v {
-            self.delete_half(v, u);
-        }
+    /// Returns `false` (and leaves the graph unchanged) if the pair has no
+    /// live entry — the driver only deletes events it previously inserted,
+    /// so a `false` here signals a caller bug rather than a data error.
+    #[must_use]
+    pub fn delete_event(&mut self, u: u32, v: u32) -> bool {
+        let a = self.delete_half(u, v);
+        let b = if u != v { self.delete_half(v, u) } else { a };
+        a && b
     }
 
     fn insert_half(&mut self, src: u32, dst: u32, t: i64) {
@@ -171,7 +171,7 @@ impl StreamingGraph {
         self.num_edges += 1;
     }
 
-    fn delete_half(&mut self, src: u32, dst: u32) {
+    fn delete_half(&mut self, src: u32, dst: u32) -> bool {
         let mut prev = NONE;
         let mut b = self.heads[src as usize];
         while b != NONE {
@@ -189,13 +189,13 @@ impl StreamingGraph {
                             self.unlink_block(src, prev, b);
                         }
                     }
-                    return;
+                    return true;
                 }
             }
             prev = b;
             b = next;
         }
-        panic!("delete of non-existent edge {src} -> {dst}");
+        false
     }
 
     fn alloc_block(&mut self, next: u32) -> u32 {
@@ -323,9 +323,9 @@ mod tests {
         let mut g = StreamingGraph::new(4);
         g.insert_event(0, 1, 10);
         g.insert_event(0, 1, 20);
-        g.delete_event(0, 1);
+        assert!(g.delete_event(0, 1));
         assert!(g.has_edge(0, 1), "multiplicity 1 remains");
-        g.delete_event(0, 1);
+        assert!(g.delete_event(0, 1));
         assert!(!g.has_edge(0, 1));
         assert!(!g.has_edge(1, 0));
         assert_eq!(g.degree(0), 0);
@@ -334,10 +334,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-existent edge")]
-    fn deleting_missing_edge_panics() {
+    fn deleting_missing_edge_returns_false() {
         let mut g = StreamingGraph::new(2);
-        g.delete_event(0, 1);
+        assert!(!g.delete_event(0, 1));
+        g.check_invariants();
+        g.insert_event(0, 1, 5);
+        assert!(g.delete_event(0, 1));
+        assert!(!g.delete_event(0, 1), "second delete finds nothing");
+        g.check_invariants();
     }
 
     #[test]
@@ -346,7 +350,7 @@ mod tests {
         g.insert_event(0, 0, 5);
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.num_edges(), 1);
-        g.delete_event(0, 0);
+        assert!(g.delete_event(0, 0));
         assert_eq!(g.num_edges(), 0);
         g.check_invariants();
     }
@@ -373,7 +377,7 @@ mod tests {
         }
         let allocated = g.allocated_blocks();
         for v in 1..40u32 {
-            g.delete_event(0, v);
+            assert!(g.delete_event(0, v));
         }
         assert_eq!(g.degree(0), 0);
         g.check_invariants();
@@ -392,7 +396,7 @@ mod tests {
         for v in 1..5u32 {
             g.insert_event(0, v, 0);
         }
-        g.delete_event(0, 2);
+        assert!(g.delete_event(0, 2));
         let before = g.allocated_blocks();
         g.insert_event(0, 7, 1);
         assert_eq!(g.allocated_blocks(), before, "tombstone slot reused");
@@ -436,7 +440,7 @@ mod tests {
             } else {
                 let i = (rnd() as usize) % live.len();
                 let (a, b) = live.swap_remove(i);
-                g.delete_event(a, b);
+                assert!(g.delete_event(a, b));
                 let m = model.get_mut(&(a, b)).unwrap();
                 *m -= 1;
                 if *m == 0 {

@@ -22,13 +22,13 @@ fn main() {
 
     // Offline: rebuild a graph per window, PageRank from scratch.
     let t0 = Instant::now();
-    let offline = run_offline(&log, spec, &OfflineConfig::default());
+    let offline = run_offline(&log, spec, &OfflineConfig::default()).expect("offline run");
     let t_offline = t0.elapsed();
 
     // Streaming: one mutable graph, insert/delete batches, incremental
     // PageRank (STINGER-like).
     let t0 = Instant::now();
-    let streaming = run_streaming(&log, spec, &StreamingConfig::default());
+    let streaming = run_streaming(&log, spec, &StreamingConfig::default()).expect("streaming run");
     let t_streaming = t0.elapsed();
 
     // Postmortem: temporal CSR + multi-window graphs + partial init.

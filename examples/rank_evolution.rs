@@ -84,7 +84,8 @@ fn main() {
         &PrConfig::default(),
         None,
         &mut ws,
-    );
+    )
+    .expect("personalized pagerank");
     let mut pairs: Vec<(usize, f64)> =
         ws.x.iter()
             .copied()

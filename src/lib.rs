@@ -56,11 +56,14 @@ pub use tempopr_stream as stream;
 pub mod prelude {
     pub use tempopr_analytics::{temporal_structure, StructureConfig, StructureSummary};
     pub use tempopr_core::{
-        run_offline, suggest, KernelKind, OfflineConfig, ParallelMode, PostmortemConfig,
-        PostmortemEngine, RetainMode, RunOutput, SparseRanks, WindowOutput,
+        run_offline, suggest, EngineError, FaultPlan, KernelKind, OfflineConfig, ParallelMode,
+        PostmortemConfig, PostmortemEngine, RecoveryKind, RetainMode, RunOutput, SparseRanks,
+        WindowFault, WindowOutput, WindowStatus,
     };
     pub use tempopr_datagen::{Dataset, DatasetSpec, DAY};
-    pub use tempopr_graph::{Event, EventLog, TimeRange, WindowSpec};
-    pub use tempopr_kernel::{Init, Partitioner, PrConfig, Scheduler};
+    pub use tempopr_graph::{Event, EventLog, IngestReport, ParseMode, TimeRange, WindowSpec};
+    pub use tempopr_kernel::{
+        FaultKind, GuardConfig, Init, NumericPolicy, Partitioner, PrConfig, Scheduler,
+    };
     pub use tempopr_stream::{run_streaming, IncrementalMode, StreamingConfig};
 }

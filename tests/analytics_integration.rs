@@ -56,7 +56,8 @@ fn hub_dominates_every_centrality() {
         Init::Uniform,
         &PrConfig::default(),
         None,
-    );
+    )
+    .unwrap();
     let top_pr = pr
         .iter()
         .enumerate()

@@ -9,6 +9,7 @@ fn tight_pr() -> PrConfig {
         alpha: 0.15,
         tol: 1e-11,
         max_iters: 500,
+        ..PrConfig::default()
     }
 }
 
@@ -20,7 +21,8 @@ fn run_all_models(log: &EventLog, spec: WindowSpec) -> [RunOutput; 3] {
             pr: tight_pr(),
             ..Default::default()
         },
-    );
+    )
+    .expect("offline run");
     let streaming = run_streaming(
         log,
         spec,
@@ -28,7 +30,8 @@ fn run_all_models(log: &EventLog, spec: WindowSpec) -> [RunOutput; 3] {
             pr: tight_pr(),
             ..Default::default()
         },
-    );
+    )
+    .expect("streaming run");
     let engine = PostmortemEngine::new(
         log,
         spec,
@@ -108,7 +111,8 @@ fn fingerprints_match_across_models_without_full_retention() {
             retain: RetainMode::Summary,
             ..Default::default()
         },
-    );
+    )
+    .expect("offline run");
     let engine = PostmortemEngine::new(
         &log,
         spec,
@@ -143,7 +147,8 @@ fn advisor_config_is_exact_too() {
             pr: tight_pr(),
             ..Default::default()
         },
-    );
+    )
+    .expect("offline run");
     let mut cfg = suggest(&log, &spec, 0);
     cfg.pr = tight_pr();
     let out = PostmortemEngine::new(&log, spec, cfg).unwrap().run();
@@ -169,7 +174,8 @@ fn streaming_local_push_tracks_exact_models() {
             pr: tight_pr(),
             ..Default::default()
         },
-    );
+    )
+    .expect("offline run");
     let push = run_streaming(
         &log,
         spec,
@@ -178,7 +184,8 @@ fn streaming_local_push_tracks_exact_models() {
             incremental: IncrementalMode::LocalPush,
             ..Default::default()
         },
-    );
+    )
+    .expect("streaming run");
     for (e, p) in exact.windows.iter().zip(push.windows.iter()) {
         let d = e
             .ranks

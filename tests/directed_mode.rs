@@ -11,6 +11,7 @@ fn tight_pr() -> PrConfig {
         alpha: 0.15,
         tol: 1e-11,
         max_iters: 500,
+        ..PrConfig::default()
     }
 }
 
@@ -78,7 +79,8 @@ fn directed_offline_matches_reference() {
             pr: tight_pr(),
             ..Default::default()
         },
-    );
+    )
+    .expect("offline run");
     for (w, wo) in out.windows.iter().enumerate() {
         let d = wo.ranks.as_ref().unwrap().linf_distance(&expect[w]);
         assert!(d < 1e-7, "window {w}: linf {d}");

@@ -10,6 +10,7 @@ fn tight_pr() -> PrConfig {
         alpha: 0.15,
         tol: 1e-11,
         max_iters: 400,
+        ..PrConfig::default()
     }
 }
 

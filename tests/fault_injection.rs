@@ -1,0 +1,323 @@
+//! Deterministic fault injection through the whole engine stack: every
+//! planned fault must be detected, recovered (or contained), and reported —
+//! and every window the fault did *not* touch must still produce valid
+//! ranks.
+//!
+//! The graph is deliberately degree-skewed: on a degree-regular symmetric
+//! graph the uniform start is already the fixed point, the kernel converges
+//! at iteration 1, and an injection targeting iteration k never fires.
+
+use tempopr::prelude::*;
+
+fn tight_pr() -> PrConfig {
+    PrConfig {
+        alpha: 0.15,
+        tol: 1e-11,
+        max_iters: 500,
+        ..PrConfig::default()
+    }
+}
+
+/// Hub-skewed temporal graph (vertex 0 touches everything): far-from-uniform
+/// stationary distribution, so every window iterates several times.
+fn skewed_log() -> EventLog {
+    let mut events = Vec::new();
+    for i in 0..600u32 {
+        let (u, v) = if i % 3 != 0 {
+            (0, 1 + i % 29)
+        } else {
+            (1 + (i * 7) % 29, 1 + (i * 13) % 29)
+        };
+        if u != v {
+            events.push(Event::new(u, v, i as i64));
+        }
+    }
+    EventLog::from_unsorted(events, 30).unwrap()
+}
+
+fn spec_for(log: &EventLog) -> WindowSpec {
+    WindowSpec::covering(log, 200, 50).unwrap()
+}
+
+fn base_cfg(kernel: KernelKind, mode: ParallelMode) -> PostmortemConfig {
+    PostmortemConfig {
+        kernel,
+        mode,
+        pr: tight_pr(),
+        num_multiwindows: 2,
+        ..Default::default()
+    }
+}
+
+fn run(log: &EventLog, spec: WindowSpec, cfg: PostmortemConfig) -> RunOutput {
+    PostmortemEngine::new(log, spec, cfg).unwrap().run()
+}
+
+/// Asserts every window except `faulted` carries valid ranks within `tol`
+/// of the fault-free run (windows recovered from a fault may legitimately
+/// differ by the convergence tolerance; the rest must agree too because
+/// they converged to the same fixed points).
+fn assert_clean_windows_match(clean: &RunOutput, faulty: &RunOutput, faulted: usize, tol: f64) {
+    assert_eq!(clean.windows.len(), faulty.windows.len());
+    for (c, f) in clean.windows.iter().zip(faulty.windows.iter()) {
+        if c.window == faulted {
+            continue;
+        }
+        assert!(
+            f.status.is_valid(),
+            "window {} poisoned by fault in window {faulted}: {:?}",
+            c.window,
+            f.status
+        );
+        let d = c
+            .ranks
+            .as_ref()
+            .unwrap()
+            .linf_distance(f.ranks.as_ref().unwrap());
+        assert!(d < tol, "window {}: linf {d} vs fault-free run", c.window);
+    }
+}
+
+// --- Path 1: injected NaN -> guard detects -> uniform restart ------------
+
+#[test]
+fn nan_injection_recovers_via_guard_restart() {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    let clean = run(&log, spec, base_cfg(KernelKind::SpMV, ParallelMode::Sequential));
+    let mut cfg = base_cfg(KernelKind::SpMV, ParallelMode::Sequential);
+    // Iteration 1 always runs, even for warm-started windows that converge
+    // immediately; a later target could silently miss the window.
+    cfg.faults = FaultPlan::single(2, FaultKind::InjectNan { at_iter: 1 });
+    let out = run(&log, spec, cfg);
+
+    assert!(!out.degraded, "guard recovery must not degrade the run");
+    let w = &out.windows[2];
+    assert_eq!(
+        w.status,
+        WindowStatus::Recovered {
+            via: RecoveryKind::GuardIntervention
+        }
+    );
+    assert!(w.stats.health.restarts >= 1, "restart must be recorded");
+    assert!(w.stats.converged);
+    let d = clean.windows[2]
+        .ranks
+        .as_ref()
+        .unwrap()
+        .linf_distance(w.ranks.as_ref().unwrap());
+    assert!(d < 1e-7, "recovered ranks drifted: linf {d}");
+    assert_clean_windows_match(&clean, &out, 2, 1e-7);
+}
+
+// --- Path 2: forced non-convergence -> full-init retry -> dense oracle ---
+
+#[test]
+fn forced_nonconvergence_escalates_to_dense_oracle() {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    for kernel in [KernelKind::SpMV, KernelKind::SpMM { lanes: 4 }] {
+        let clean = run(&log, spec, base_cfg(kernel, ParallelMode::Sequential));
+        let mut cfg = base_cfg(kernel, ParallelMode::Sequential);
+        cfg.faults = FaultPlan::single(2, FaultKind::ForceNonConvergence);
+        let out = run(&log, spec, cfg);
+
+        assert!(!out.degraded, "{kernel:?}: oracle recovery must not degrade");
+        let w = &out.windows[2];
+        // The fault persists across the full-init retry, so the ladder must
+        // walk all the way down to the exact Eq. 2 solve.
+        assert_eq!(
+            w.status,
+            WindowStatus::Recovered {
+                via: RecoveryKind::DenseOracle
+            },
+            "{kernel:?}"
+        );
+        let d = clean.windows[2]
+            .ranks
+            .as_ref()
+            .unwrap()
+            .linf_distance(w.ranks.as_ref().unwrap());
+        assert!(d < 1e-6, "{kernel:?}: oracle ranks drifted: linf {d}");
+        assert_clean_windows_match(&clean, &out, 2, 1e-7);
+    }
+}
+
+// --- Path 3: corrupted degree reciprocal -> mass drift detected ----------
+
+#[test]
+fn corrupt_reciprocal_is_detected_and_recovered() {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    let clean = run(&log, spec, base_cfg(KernelKind::SpMV, ParallelMode::Sequential));
+    let mut cfg = base_cfg(KernelKind::SpMV, ParallelMode::Sequential);
+    cfg.faults = FaultPlan::single(1, FaultKind::CorruptReciprocal);
+    let out = run(&log, spec, cfg);
+
+    // Renormalization cannot cure a persistently corrupt reciprocal; the
+    // kernel escalates and the oracle (which recomputes degrees itself)
+    // produces the exact ranks.
+    let w = &out.windows[1];
+    assert_eq!(
+        w.status,
+        WindowStatus::Recovered {
+            via: RecoveryKind::DenseOracle
+        }
+    );
+    assert!(!out.degraded);
+    let d = clean.windows[1]
+        .ranks
+        .as_ref()
+        .unwrap()
+        .linf_distance(w.ranks.as_ref().unwrap());
+    assert!(d < 1e-6, "oracle ranks drifted: linf {d}");
+    assert_clean_windows_match(&clean, &out, 1, 1e-7);
+}
+
+#[test]
+fn corrupt_reciprocal_under_fail_policy_fails_loudly() {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    let mut cfg = base_cfg(KernelKind::SpMV, ParallelMode::Sequential);
+    cfg.pr.guard.policy = NumericPolicy::Fail;
+    cfg.faults = FaultPlan::single(1, FaultKind::CorruptReciprocal);
+    let out = run(&log, spec, cfg);
+
+    // Under Fail no recovery ladder runs: the window fails, the run is
+    // flagged degraded, and the diagnostic is preserved.
+    assert!(out.degraded);
+    assert_eq!(out.failed_windows(), vec![1]);
+    match &out.windows[1].status {
+        WindowStatus::Failed { diagnostic } => {
+            assert!(!diagnostic.is_empty(), "diagnostic must not be silent");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // Every other window still completed.
+    for w in &out.windows {
+        if w.window != 1 {
+            assert!(w.status.is_valid());
+        }
+    }
+}
+
+// --- Path 4: kernel panic -> isolated, run completes degraded ------------
+
+#[test]
+fn injected_panic_is_isolated_per_window() {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    for kernel in [
+        KernelKind::SpMV,
+        KernelKind::SpMM { lanes: 4 },
+        KernelKind::PushBlocking,
+    ] {
+        for mode in [ParallelMode::Sequential, ParallelMode::Nested] {
+            let clean = run(&log, spec, base_cfg(kernel, mode));
+            let mut cfg = base_cfg(kernel, mode);
+            cfg.faults = FaultPlan::single(2, FaultKind::PanicInKernel);
+            let out = run(&log, spec, cfg);
+
+            assert!(out.degraded, "{kernel:?}/{mode:?}: panic must degrade");
+            assert_eq!(out.failed_windows(), vec![2], "{kernel:?}/{mode:?}");
+            match &out.windows[2].status {
+                WindowStatus::Failed { diagnostic } => assert!(
+                    diagnostic.contains("panic"),
+                    "{kernel:?}/{mode:?}: diagnostic {diagnostic:?}"
+                ),
+                other => panic!("{kernel:?}/{mode:?}: expected Failed, got {other:?}"),
+            }
+            assert_clean_windows_match(&clean, &out, 2, 1e-7);
+            let summary = out.status_summary();
+            assert!(summary.contains("1 failed"), "summary: {summary}");
+        }
+    }
+}
+
+// --- Streaming and offline models contain panics too ---------------------
+
+#[test]
+fn offline_and_streaming_survive_empty_inputs_and_report_status() {
+    // Sanity for the shared status plumbing on the baseline models: a
+    // healthy run is all-Ok, not degraded, and summarizes as such.
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    let off = run_offline(
+        &log,
+        spec,
+        &OfflineConfig {
+            pr: tight_pr(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!off.degraded);
+    assert!(off.windows.iter().all(|w| w.status.is_valid()));
+    let st = run_streaming(
+        &log,
+        spec,
+        &StreamingConfig {
+            pr: tight_pr(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!st.degraded);
+    assert!(st.windows.iter().all(|w| w.status.is_valid()));
+}
+
+// --- Zero-cost contract: guards and an empty plan change nothing ---------
+
+#[test]
+fn healthy_ranks_bit_identical_with_guards_on_and_off() {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    for kernel in [
+        KernelKind::SpMV,
+        KernelKind::SpMM { lanes: 4 },
+        KernelKind::PushBlocking,
+    ] {
+        for mode in [
+            ParallelMode::Sequential,
+            ParallelMode::WindowLevel,
+            ParallelMode::ApplicationLevel,
+            ParallelMode::Nested,
+        ] {
+            let mut on = base_cfg(kernel, mode);
+            on.pr.guard = GuardConfig::default();
+            let mut off = base_cfg(kernel, mode);
+            off.pr.guard = GuardConfig::off();
+            let a = run(&log, spec, on);
+            let b = run(&log, spec, off);
+            for (x, y) in a.windows.iter().zip(b.windows.iter()) {
+                // Bit-identical, not approximately equal: the guards are
+                // read-only observers on healthy inputs.
+                assert_eq!(
+                    x.fingerprint, y.fingerprint,
+                    "{kernel:?}/{mode:?} window {}",
+                    x.window
+                );
+                assert_eq!(x.stats.iterations, y.stats.iterations);
+                assert_eq!(x.status, WindowStatus::Ok);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_a_noop() {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    let mut with_empty_plan = base_cfg(KernelKind::SpMM { lanes: 4 }, ParallelMode::Nested);
+    with_empty_plan.faults = FaultPlan::default();
+    let a = run(&log, spec, with_empty_plan);
+    let b = run(
+        &log,
+        spec,
+        base_cfg(KernelKind::SpMM { lanes: 4 }, ParallelMode::Nested),
+    );
+    for (x, y) in a.windows.iter().zip(b.windows.iter()) {
+        assert_eq!(x.fingerprint, y.fingerprint, "window {}", x.window);
+        assert_eq!(x.stats, y.stats);
+    }
+}

@@ -24,6 +24,7 @@ fn tight() -> PrConfig {
         alpha: 0.15,
         tol: 1e-12,
         max_iters: 400,
+        ..PrConfig::default()
     }
 }
 
@@ -47,7 +48,7 @@ proptest! {
     fn spmv_matches_reference(events in arb_events(), start in 0i64..300, width in 1i64..200) {
         let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
         let range = TimeRange::new(start, start + width);
-        let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let (x, stats) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None).unwrap();
         let r = reference_pagerank(MAX_V as usize, &window_edges(&events, range), &tight());
         for v in 0..MAX_V as usize {
             prop_assert!((x[v] - r[v]).abs() < 1e-8, "vertex {}: {} vs {}", v, x[v], r[v]);
@@ -62,9 +63,9 @@ proptest! {
     fn parallel_spmv_matches_sequential(events in arb_events(), g in 1usize..32) {
         let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
         let range = TimeRange::new(0, 300);
-        let (seq, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let (seq, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None).unwrap();
         let sched = Scheduler::new(tempopr::kernel::Partitioner::Simple, g);
-        let (par, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), Some(&sched));
+        let (par, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), Some(&sched)).unwrap();
         for v in 0..MAX_V as usize {
             prop_assert!((seq[v] - par[v]).abs() < 1e-9);
         }
@@ -80,9 +81,9 @@ proptest! {
         let ranges: Vec<TimeRange> = starts.iter().map(|&s| TimeRange::new(s, s + width)).collect();
         let inits = vec![Init::Uniform; ranges.len()];
         let mut ws = SpmmWorkspace::default();
-        let stats = pagerank_batch(&t, &t, &ranges, &inits, &tight(), None, &mut ws);
+        let stats = pagerank_batch(&t, &t, &ranges, &inits, &tight(), None, &mut ws).unwrap();
         for (k, &range) in ranges.iter().enumerate() {
-            let (expect, es) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+            let (expect, es) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None).unwrap();
             let got = ws.lane(k, ranges.len());
             for v in 0..MAX_V as usize {
                 prop_assert!((got[v] - expect[v]).abs() < 1e-8, "lane {} vertex {}", k, v);
@@ -101,9 +102,9 @@ proptest! {
         let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
         let r0 = TimeRange::new(s0, s0 + width);
         let r1 = TimeRange::new(s0 + shift, s0 + shift + width);
-        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &tight(), None);
-        let (uniform, _) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &tight(), None);
-        let (partial, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &tight(), None);
+        let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &tight(), None).unwrap();
+        let (uniform, _) = pagerank_window_vec(&t, &t, r1, Init::Uniform, &tight(), None).unwrap();
+        let (partial, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &tight(), None).unwrap();
         for v in 0..MAX_V as usize {
             prop_assert!((uniform[v] - partial[v]).abs() < 1e-7, "vertex {}", v);
         }
@@ -117,7 +118,7 @@ proptest! {
     ) {
         let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
         let range = TimeRange::new(start, start + width);
-        let (x, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let (x, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None).unwrap();
         let mut deg = vec![0u32; MAX_V as usize];
         t.active_degrees(range, &mut deg);
         for v in 0..MAX_V as usize {
@@ -135,7 +136,7 @@ proptest! {
         let out = TemporalCsr::from_events(MAX_V as usize, &events, false);
         let pull = out.transpose();
         let range = TimeRange::new(start, start + width);
-        let (x, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &tight(), None);
+        let (x, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &tight(), None).unwrap();
         let edges: Vec<(u32, u32)> = events
             .iter()
             .filter(|e| range.contains(e.t))
@@ -151,9 +152,9 @@ proptest! {
     fn propagation_blocking_matches_pull(events in arb_events(), start in 0i64..300, width in 1i64..200) {
         let t = TemporalCsr::from_events(MAX_V as usize, &events, true);
         let range = TimeRange::new(start, start + width);
-        let (pull, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None);
+        let (pull, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None).unwrap();
         let mut ws = BlockingWorkspace::default();
-        pagerank_window_blocking(&t, &t, range, Init::Uniform, &tight(), &mut ws);
+        pagerank_window_blocking(&t, &t, range, Init::Uniform, &tight(), &mut ws).unwrap();
         for (v, (a, b)) in pull.iter().zip(ws.pr.x.iter()).enumerate() {
             prop_assert!((a - b).abs() < 1e-9, "vertex {}", v);
         }

@@ -33,7 +33,7 @@ proptest! {
             if del && !live.is_empty() {
                 let idx = (u as usize * 31 + v as usize * 7 + i) % live.len();
                 let (a, b) = live.swap_remove(idx);
-                g.delete_event(a, b);
+                prop_assert!(g.delete_event(a, b));
                 let m = model.get_mut(&(a, b)).unwrap();
                 *m -= 1;
                 if *m == 0 {
@@ -89,7 +89,7 @@ proptest! {
                 let prev = spec.window(w - 1);
                 let del_hi = (range.start - 1).min(prev.end);
                 for e in log.slice_by_time(prev.start, del_hi) {
-                    g.delete_event(e.u, e.v);
+                    assert!(g.delete_event(e.u, e.v));
                 }
             }
             g.check_invariants();
@@ -113,7 +113,7 @@ proptest! {
             g.insert_event(e.u, e.v, e.t);
         }
         for e in &events {
-            g.delete_event(e.u, e.v);
+            assert!(g.delete_event(e.u, e.v));
         }
         g.check_invariants();
         prop_assert_eq!(g.num_edges(), 0);

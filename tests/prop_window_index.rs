@@ -120,7 +120,7 @@ proptest! {
                     symmetric,
                     ..Default::default()
                 };
-                let indexed = fingerprints(&log, spec, cfg);
+                let indexed = fingerprints(&log, spec, cfg.clone());
                 let unindexed = fingerprints(
                     &log,
                     spec,

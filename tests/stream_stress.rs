@@ -43,7 +43,7 @@ fn long_skewed_insert_delete_stress() {
         for _ in 0..deletions {
             let i = rng.gen_range(0..live.len());
             let (a, b) = live.swap_remove(i);
-            g.delete_event(a, b);
+            assert!(g.delete_event(a, b));
             let m = model.get_mut(&(a, b)).unwrap();
             *m -= 1;
             if *m == 0 {
@@ -68,7 +68,7 @@ fn long_skewed_insert_delete_stress() {
     // Drain completely; arena must be fully recyclable.
     for ((u, v), mult) in model.drain() {
         for _ in 0..mult {
-            g.delete_event(u, v);
+            assert!(g.delete_event(u, v));
         }
     }
     g.check_invariants();
@@ -102,7 +102,7 @@ fn block_chain_growth_and_shrink_cycles() {
         order.reverse();
         let (evens, odds): (Vec<u32>, Vec<u32>) = order.iter().copied().partition(|&v| v % 2 == 0);
         for v in evens.into_iter().chain(odds) {
-            g.delete_event(0, v);
+            assert!(g.delete_event(0, v));
         }
         g.check_invariants();
         assert_eq!(g.degree(0), 0);

@@ -9,6 +9,7 @@ fn tight_pr() -> PrConfig {
         alpha: 0.15,
         tol: 1e-11,
         max_iters: 400,
+        ..PrConfig::default()
     }
 }
 
@@ -42,7 +43,8 @@ fn run_all(log: &EventLog, spec: WindowSpec) -> [RunOutput; 3] {
             pr: tight_pr(),
             ..Default::default()
         },
-    );
+    )
+    .expect("offline run");
     let st = run_streaming(
         log,
         spec,
@@ -50,7 +52,8 @@ fn run_all(log: &EventLog, spec: WindowSpec) -> [RunOutput; 3] {
             pr: tight_pr(),
             ..Default::default()
         },
-    );
+    )
+    .expect("streaming run");
     [pm, off, st]
 }
 
