@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let suggested = suggest(&log, &spec, 0);
     let mut g = c.benchmark_group("fig12_suggested");
     g.bench_function("suggested", |b| {
-        b.iter(|| std::hint::black_box(postmortem(&log, spec, suggested.clone()).total_iterations()))
+        b.iter(|| {
+            std::hint::black_box(postmortem(&log, spec, suggested.clone()).total_iterations())
+        })
     });
     g.bench_function("default", |b| {
         b.iter(|| {

@@ -6,12 +6,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use tempopr_bench::{BENCH_SCALE, BENCH_SEED};
+use tempopr_core::TelemetryKernelBridge;
 use tempopr_datagen::Dataset;
 use tempopr_graph::{Csr, TemporalCsr, TimeRange, WindowIndex};
 use tempopr_kernel::{
-    pagerank_window, pagerank_window_indexed, GuardConfig, Init, PrConfig, PrWorkspace,
+    pagerank_window, pagerank_window_indexed, pagerank_window_obs, GuardConfig, Init, Obs,
+    PrConfig, PrWorkspace,
 };
 use tempopr_stream::StreamingGraph;
+use tempopr_telemetry::Telemetry;
 
 fn bench(c: &mut Criterion) {
     let log = Dataset::WikiTalk.spec().generate(BENCH_SCALE, BENCH_SEED);
@@ -169,6 +172,56 @@ fn bench(c: &mut Criterion) {
                 &unguarded_cfg,
                 None,
                 &mut ws,
+            )
+        })
+    });
+
+    // --- telemetry_overhead: observation hooks on the SpMV hot loop ------
+    // A disabled carrier is a branch on a None reference per observation
+    // site, so `off` must track the plain entry point (<1%); `on` measures
+    // the full price of recording (timestamps, trace events, counters) —
+    // unbounded, but kept honest here. A fresh sink per invocation bounds
+    // trace memory during the measurement.
+    g.bench_function("telemetry_overhead/baseline", |b| {
+        b.iter(|| {
+            pagerank_window(
+                &tcsr,
+                &tcsr,
+                bench_window,
+                Init::Uniform,
+                &full_cfg,
+                None,
+                &mut ws,
+            )
+        })
+    });
+    g.bench_function("telemetry_overhead/off", |b| {
+        b.iter(|| {
+            pagerank_window_obs(
+                &tcsr,
+                &tcsr,
+                bench_window,
+                Init::Uniform,
+                &full_cfg,
+                None,
+                &mut ws,
+                Obs::off(),
+            )
+        })
+    });
+    g.bench_function("telemetry_overhead/on", |b| {
+        b.iter(|| {
+            let tele = Telemetry::enabled();
+            let bridge = TelemetryKernelBridge::new(&tele, 1);
+            pagerank_window_obs(
+                &tcsr,
+                &tcsr,
+                bench_window,
+                Init::Uniform,
+                &full_cfg,
+                None,
+                &mut ws,
+                Obs::new(&bridge, 0),
             )
         })
     });

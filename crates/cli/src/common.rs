@@ -9,6 +9,7 @@ use tempopr_datagen::Dataset;
 use tempopr_graph::{EventLog, WindowSpec};
 use tempopr_kernel::PrConfig;
 use tempopr_stream::{run_streaming, StreamingConfig};
+use tempopr_telemetry::Telemetry;
 
 /// Prints a one-line diagnostic to stderr and exits nonzero — the
 /// harness's uniform failure path (it never panics on bad input or a
@@ -26,7 +27,7 @@ pub fn warn_if_degraded(what: &str, out: &RunOutput) {
 }
 
 /// Experiment-wide options from the command line.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Opts {
     /// Dataset scale factor relative to the paper's full sizes.
     pub scale: f64,
@@ -37,6 +38,9 @@ pub struct Opts {
     /// Cap on the number of windows per configuration (0 = uncapped);
     /// keeps the big sweeps affordable at small scales.
     pub max_windows: usize,
+    /// Write run telemetry (`tempopr.metrics.v1` JSON) to this path;
+    /// experiments that support it also print a phase-breakdown summary.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Opts {
@@ -46,6 +50,7 @@ impl Default for Opts {
             seed: 42,
             threads: 0,
             max_windows: 0,
+            metrics_out: None,
         }
     }
 }
@@ -116,9 +121,8 @@ pub fn time_offline(log: &EventLog, spec: WindowSpec, opts: &Opts) -> (RunOutput
         threads: opts.threads,
         ..Default::default()
     };
-    let (out, d) = time(|| {
-        run_offline(log, spec, &cfg).unwrap_or_else(|e| fail(format!("offline run: {e}")))
-    });
+    let (out, d) =
+        time(|| run_offline(log, spec, &cfg).unwrap_or_else(|e| fail(format!("offline run: {e}"))));
     warn_if_degraded("offline", &out);
     (out, d)
 }
@@ -129,19 +133,38 @@ pub fn time_offline(log: &EventLog, spec: WindowSpec, opts: &Opts) -> (RunOutput
 pub fn time_postmortem(
     log: &EventLog,
     spec: WindowSpec,
+    cfg: PostmortemConfig,
+    opts: &Opts,
+) -> (RunOutput, Duration) {
+    time_postmortem_traced(log, spec, cfg, opts, Telemetry::noop())
+}
+
+/// [`time_postmortem`] recording phase times, counters, and the
+/// convergence trace into `tele`.
+pub fn time_postmortem_traced(
+    log: &EventLog,
+    spec: WindowSpec,
     mut cfg: PostmortemConfig,
     opts: &Opts,
+    tele: Telemetry,
 ) -> (RunOutput, Duration) {
     cfg.retain = RetainMode::Summary;
     cfg.threads = opts.threads;
     cfg.pr = pr_config();
     let (out, d) = time(|| {
-        let engine = PostmortemEngine::new(log, spec, cfg)
+        let engine = PostmortemEngine::with_telemetry(log, spec, cfg, tele)
             .unwrap_or_else(|e| fail(format!("engine build: {e}")));
         engine.run()
     });
     warn_if_degraded("postmortem", &out);
     (out, d)
+}
+
+/// Writes a metrics report to `path` (uniform failure path on error).
+pub fn write_metrics(path: &str, tele: &Telemetry) {
+    let json = tele.report().to_json();
+    std::fs::write(path, json).unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
+    eprintln!("metrics written to {path}");
 }
 
 /// Formats a `Duration` in seconds with millisecond resolution.

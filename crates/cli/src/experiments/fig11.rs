@@ -20,7 +20,9 @@ pub fn run(opts: &Opts, only: Option<&str>) {
         "dataset", "sw_s", "delta_days", "windows", "streaming_s", "best_pm_s", "speedup"
     );
     let datasets: Vec<Dataset> = match only {
-        Some(name) => vec![parse_dataset(name).unwrap_or_else(|| fail(format!("unknown dataset: {name}")))],
+        Some(name) => {
+            vec![parse_dataset(name).unwrap_or_else(|| fail(format!("unknown dataset: {name}")))]
+        }
         None => Dataset::all().to_vec(),
     };
     for dataset in datasets {

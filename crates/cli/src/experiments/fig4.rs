@@ -12,7 +12,9 @@ pub fn run(opts: &Opts, only: Option<&str>) {
     );
     println!("{:<24} {:>10} {:>12}", "dataset", "bin_day", "events");
     let datasets: Vec<Dataset> = match only {
-        Some(name) => vec![parse_dataset(name).unwrap_or_else(|| fail(format!("unknown dataset: {name}")))],
+        Some(name) => {
+            vec![parse_dataset(name).unwrap_or_else(|| fail(format!("unknown dataset: {name}")))]
+        }
         None => Dataset::all().to_vec(),
     };
     const BINS: usize = 40;

@@ -4,9 +4,12 @@
 //! initialization, 6 multi-window graphs, application-level parallelism,
 //! static scheduler — deliberately untuned.
 
-use crate::common::{secs, time_offline, time_postmortem, time_streaming, workload, Opts};
+use crate::common::{
+    secs, time_offline, time_postmortem_traced, time_streaming, workload, write_metrics, Opts,
+};
 use tempopr_core::PostmortemConfig;
 use tempopr_datagen::{Dataset, DAY};
+use tempopr_telemetry::Telemetry;
 
 /// The paper's four panels: (dataset, sw, window sizes).
 fn panels() -> Vec<(Dataset, i64, Vec<i64>)> {
@@ -40,12 +43,26 @@ pub fn run(opts: &Opts) {
         "pm_vs_str",
         "pm_vs_off"
     );
+    // One sink accumulates across every panel's postmortem run; enabling
+    // it is opt-in via --metrics-out (observation is bit-identical but
+    // costs trace memory).
+    let tele = if opts.metrics_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::noop()
+    };
     for (dataset, sw, deltas) in panels() {
         for delta in deltas {
             let (log, spec) = workload(dataset, sw, delta, opts);
             let (_, t_off) = time_offline(&log, spec, opts);
             let (_, t_str) = time_streaming(&log, spec, opts);
-            let (_, t_pm) = time_postmortem(&log, spec, PostmortemConfig::bare_bone(), opts);
+            let (_, t_pm) = time_postmortem_traced(
+                &log,
+                spec,
+                PostmortemConfig::bare_bone(),
+                opts,
+                tele.clone(),
+            );
             println!(
                 "{:<24} {:>8} {:>12} {:>8} {:>12} {:>12} {:>12} {:>9.1}x {:>9.1}x",
                 dataset.name(),
@@ -59,5 +76,10 @@ pub fn run(opts: &Opts) {
                 t_off.as_secs_f64() / t_pm.as_secs_f64().max(1e-9),
             );
         }
+    }
+    if let Some(path) = &opts.metrics_out {
+        println!("\n## Postmortem phase breakdown (all panels)");
+        println!("{}", tele.report().summary_table());
+        write_metrics(path, &tele);
     }
 }

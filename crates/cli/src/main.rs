@@ -154,6 +154,10 @@ fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), Str
                 dataset = Some(value(i)?.clone());
                 i += 2;
             }
+            "--metrics-out" => {
+                opts.metrics_out = Some(value(i)?.clone());
+                i += 2;
+            }
             "--delta-days" => {
                 extra.delta_days = value(i)?
                     .parse()
@@ -191,7 +195,7 @@ fn print_help() {
         "tempopr — regenerate the tables and figures of 'Postmortem Computation of \
          Pagerank on Temporal Graphs' (ICPP '22)\n\n\
          usage: tempopr <experiment> [--scale F] [--seed N] [--threads N] \
-         [--max-windows N] [--dataset NAME]\n\n\
+         [--max-windows N] [--dataset NAME] [--metrics-out PATH]\n\n\
          experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all\n\
          tools:       pagerank | structure  (--source <file-or-dataset> \
          --delta-days D --sw-days S [--top K] [--lenient]); convert <in> <out> [--lenient]\n\
@@ -200,7 +204,9 @@ fn print_help() {
          --seed       synthesis seed (default 42)\n\
          --threads    worker threads (default: all cores)\n\
          --max-windows  cap windows per configuration (default: uncapped)\n\
-         --dataset    restrict fig4/fig11 to one dataset"
+         --dataset    restrict fig4/fig11 to one dataset\n\
+         --metrics-out  write run telemetry JSON (fig5 also prints a \
+         phase breakdown)"
     );
 }
 
@@ -220,6 +226,7 @@ mod tests {
         assert_eq!(opts.seed, 42);
         assert_eq!(opts.threads, 0);
         assert_eq!(opts.max_windows, 0);
+        assert!(opts.metrics_out.is_none());
         assert!(dataset.is_none());
         assert_eq!(extra.delta_days, 90);
         assert_eq!(extra.sw_days, 30);
@@ -252,12 +259,15 @@ mod tests {
             "5",
             "--top",
             "8",
+            "--metrics-out",
+            "metrics.json",
         ])
         .unwrap();
         assert_eq!(opts.scale, 0.5);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.threads, 2);
         assert_eq!(opts.max_windows, 10);
+        assert_eq!(opts.metrics_out.as_deref(), Some("metrics.json"));
         assert_eq!(dataset.as_deref(), Some("enron"));
         assert_eq!(extra.delta_days, 30);
         assert_eq!(extra.sw_days, 5);

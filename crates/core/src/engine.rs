@@ -32,15 +32,20 @@
 
 use crate::config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
 use crate::error::EngineError;
+use crate::observe::TelemetryKernelBridge;
 use crate::result::{hash01, RecoveryKind, RunOutput, SparseRanks, WindowOutput, WindowStatus};
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use tempopr_graph::{EventLog, MultiWindowGraph, MultiWindowSet, TemporalCsr, TimeRange, WindowSpec};
-use tempopr_kernel::{
-    pagerank_batch, pagerank_batch_indexed, pagerank_window, pagerank_window_blocking,
-    pagerank_window_blocking_indexed, pagerank_window_indexed, solve_pagerank_exact, thread_pool,
-    BlockingWorkspace, Init, KernelError, NumericPolicy, PrConfig, PrHealth, PrStats, PrWorkspace,
-    Scheduler, SpmmWorkspace,
+use tempopr_graph::{
+    EventLog, MultiWindowGraph, MultiWindowSet, TemporalCsr, TimeRange, WindowSpec,
 };
+use tempopr_kernel::{
+    pagerank_batch_indexed_obs, pagerank_batch_obs, pagerank_window_blocking_indexed_obs,
+    pagerank_window_blocking_obs, pagerank_window_indexed_obs, pagerank_window_obs,
+    solve_pagerank_exact, thread_pool, BatchObs, BlockingWorkspace, Init, KernelError,
+    NumericPolicy, Obs, PrConfig, PrHealth, PrStats, PrWorkspace, Scheduler, SpmmWorkspace,
+};
+use tempopr_telemetry::{Phase as RunPhase, Telemetry, TraceEvent, TraceKind};
 
 /// Largest active set the dense Eq. 2 oracle accepts as a recovery
 /// fallback — the solve is `O(n³)`, so it only rescues small windows.
@@ -52,6 +57,7 @@ pub struct PostmortemEngine {
     set: MultiWindowSet,
     cfg: PostmortemConfig,
     pool: Option<rayon::ThreadPool>,
+    tele: Telemetry,
 }
 
 impl PostmortemEngine {
@@ -65,18 +71,44 @@ impl PostmortemEngine {
         spec: WindowSpec,
         cfg: PostmortemConfig,
     ) -> Result<Self, EngineError> {
+        Self::with_telemetry(log, spec, cfg, Telemetry::noop())
+    }
+
+    /// [`PostmortemEngine::new`] with a telemetry sink: the build phase is
+    /// timed, and [`PostmortemEngine::run`] records phase times, counters,
+    /// and the convergence trace into `tele`. Passing
+    /// [`Telemetry::noop()`] is exactly [`PostmortemEngine::new`].
+    pub fn with_telemetry(
+        log: &EventLog,
+        spec: WindowSpec,
+        cfg: PostmortemConfig,
+        tele: Telemetry,
+    ) -> Result<Self, EngineError> {
+        let build = tele.phase(RunPhase::Build);
         let parts = if cfg.num_multiwindows == 0 {
             auto_multiwindows(&spec, cfg.kernel)
         } else {
             cfg.num_multiwindows
         };
         let set = MultiWindowSet::build(log, spec, parts, cfg.symmetric, cfg.partition)?;
+        drop(build);
+        tele.set_gauge("run.multiwindows", set.num_parts() as f64);
         let pool = if cfg.threads > 0 {
             Some(thread_pool(cfg.threads)?)
         } else {
             None
         };
-        Ok(PostmortemEngine { set, cfg, pool })
+        Ok(PostmortemEngine {
+            set,
+            cfg,
+            pool,
+            tele,
+        })
+    }
+
+    /// The telemetry sink this engine records into (noop by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
     }
 
     /// The underlying multi-window representation.
@@ -108,6 +140,12 @@ impl PostmortemEngine {
         out.windows.sort_by_key(|w| w.window);
         out.finalize_status();
         out.assert_complete(self.spec().count);
+        self.tele.add("windows.total", out.windows.len() as u64);
+        self.tele
+            .set_gauge("run.degraded", f64::from(u8::from(out.degraded)));
+        // Measured after the run so lazily-built window indexes count.
+        self.tele
+            .set_gauge("memory.multiwindow_bytes", self.set.memory_bytes() as f64);
         out
     }
 
@@ -129,9 +167,10 @@ impl PostmortemEngine {
     ///
     /// `kernel(false)` runs as configured, `kernel(true)` forces uniform
     /// initialization; `oracle()` solves the window exactly (or `None`
-    /// when it is too large). Returns the stats, the terminal status, and
+    /// when it is too large). Returns the stats, the terminal status,
     /// `Some(ranks)` when the final ranks did *not* come from the kernel
-    /// workspace (oracle recovery, or zeros for a failed window).
+    /// workspace (oracle recovery, or zeros for a failed window), and the
+    /// highest recovery rung reached (1..=3).
     ///
     /// Ladder: converged → done (status from the kernel's health record);
     /// error / non-convergence → full-init retry (warm starts only) →
@@ -141,18 +180,19 @@ impl PostmortemEngine {
     /// [`NumericPolicy::Fail`] no recovery is attempted at all.
     fn recover_window<F, O>(
         &self,
+        window: u32,
         was_partial: bool,
         n_local: usize,
         mut kernel: F,
         oracle: O,
-    ) -> (PrStats, WindowStatus, Option<Vec<f64>>)
+    ) -> (PrStats, WindowStatus, Option<Vec<f64>>, u16)
     where
         F: FnMut(bool) -> Result<PrStats, KernelError>,
         O: FnOnce() -> Option<Result<Vec<f64>, KernelError>>,
     {
         let max_iters = self.cfg.pr.max_iters;
         let fail_fast = self.cfg.pr.guard.policy == NumericPolicy::Fail;
-        let settle = |stats: PrStats, via: Option<RecoveryKind>| {
+        let settle = |stats: PrStats, via: Option<RecoveryKind>, attempts: u16| {
             let status = match via {
                 Some(v) => WindowStatus::Recovered { via: v },
                 None if stats.health.is_clean() => WindowStatus::Ok,
@@ -160,11 +200,11 @@ impl PostmortemEngine {
                     via: RecoveryKind::GuardIntervention,
                 },
             };
-            (stats, status, None)
+            (stats, status, None, attempts)
         };
         // Attempt 1: as configured.
         let mut diagnostic = match catch_unwind(AssertUnwindSafe(|| kernel(false))) {
-            Ok(Ok(stats)) if stats.converged || max_iters == 0 => return settle(stats, None),
+            Ok(Ok(stats)) if stats.converged || max_iters == 0 => return settle(stats, None, 1),
             Ok(Ok(_)) => format!("did not converge within {max_iters} iterations"),
             Ok(Err(e)) => e.to_string(),
             Err(p) => {
@@ -174,16 +214,29 @@ impl PostmortemEngine {
                         diagnostic: format!("kernel panicked: {}", panic_message(&p)),
                     },
                     Some(vec![0.0; n_local]),
+                    1,
                 );
             }
         };
+        let mut attempts: u16 = 1;
         if !fail_fast {
+            // Rungs 2-3 are attributed to the recovery phase; the kernel's
+            // own SpMV/check timers keep running inside the span, so phase
+            // totals overlap by design (see DESIGN.md §6).
+            let _recovery = self.tele.phase(RunPhase::Recovery);
             // Attempt 2: recompute from full initialization (warm starts
             // only — a cold start already was fully initialized).
             if was_partial {
+                self.tele.add("recovery.full_init_retry", 1);
+                self.tele.record(TraceEvent::marker(
+                    TraceKind::RecoveryFullInitRetry,
+                    window,
+                    2,
+                    0,
+                ));
                 match catch_unwind(AssertUnwindSafe(|| kernel(true))) {
                     Ok(Ok(stats)) if stats.converged => {
-                        return settle(stats, Some(RecoveryKind::FullInitRetry));
+                        return settle(stats, Some(RecoveryKind::FullInitRetry), 2);
                     }
                     Ok(Ok(_)) => {
                         diagnostic = format!("{diagnostic}; full-init retry did not converge");
@@ -199,12 +252,21 @@ impl PostmortemEngine {
                                 ),
                             },
                             Some(vec![0.0; n_local]),
+                            2,
                         );
                     }
                 }
             }
             // Attempt 3: the dense Eq. 2 oracle, immune to iteration-level
             // faults (it recomputes degrees and does not iterate).
+            attempts = 3;
+            self.tele.add("recovery.dense_oracle", 1);
+            self.tele.record(TraceEvent::marker(
+                TraceKind::RecoveryDenseOracle,
+                window,
+                3,
+                0,
+            ));
             match oracle() {
                 Some(Ok(x)) => {
                     let active = x.iter().filter(|&&v| v > 0.0).count();
@@ -220,6 +282,7 @@ impl PostmortemEngine {
                             via: RecoveryKind::DenseOracle,
                         },
                         Some(x),
+                        3,
                     );
                 }
                 Some(Err(e)) => diagnostic = format!("{diagnostic}; dense oracle: {e}"),
@@ -230,6 +293,7 @@ impl PostmortemEngine {
             PrStats::empty(),
             WindowStatus::Failed { diagnostic },
             Some(vec![0.0; n_local]),
+            attempts,
         )
     }
 
@@ -242,7 +306,7 @@ impl PostmortemEngine {
         prev: Option<&[f64]>,
         inner: Option<&Scheduler>,
         ws: &mut PrWorkspace,
-    ) -> (PrStats, WindowStatus, Vec<f64>) {
+    ) -> (PrStats, WindowStatus, Vec<f64>, u16) {
         let range = self.spec().window(w);
         let (pull, push) = (part.pull_tcsr(), part.tcsr());
         let prcfg = PrConfig {
@@ -251,22 +315,33 @@ impl PostmortemEngine {
         };
         let n_local = pull.num_vertices();
         let warm = prev.is_some();
-        let (stats, status, override_ranks) = {
+        // Each kernel invocation is a new recovery attempt; the bridge is
+        // rebuilt per call so trace events carry the attempt label.
+        let attempt_no = Cell::new(0u16);
+        let (stats, status, override_ranks, attempts) = {
             let ws = &mut *ws;
+            let attempt_no = &attempt_no;
             let kernel = move |uniform: bool| {
                 let init = match prev {
                     Some(p) if !uniform => Init::Partial(p),
                     _ => Init::Uniform,
                 };
+                attempt_no.set(attempt_no.get() + 1);
+                let bridge = TelemetryKernelBridge::new(&self.tele, attempt_no.get());
+                let obs = if self.tele.is_enabled() {
+                    Obs::new(&bridge, w as u32)
+                } else {
+                    Obs::off()
+                };
                 if self.cfg.use_window_index {
                     let view = part.index_view(w);
-                    pagerank_window_indexed(pull, push, &view, init, &prcfg, inner, ws)
+                    pagerank_window_indexed_obs(pull, push, &view, init, &prcfg, inner, ws, obs)
                 } else {
-                    pagerank_window(pull, push, range, init, &prcfg, inner, ws)
+                    pagerank_window_obs(pull, push, range, init, &prcfg, inner, ws, obs)
                 }
             };
             let oracle = || oracle_for(pull, push, range, &self.cfg.pr);
-            self.recover_window(warm, n_local, kernel, oracle)
+            self.recover_window(w as u32, warm, n_local, kernel, oracle)
         };
         if !status.is_valid() {
             // A panic may have left the workspace inconsistent.
@@ -276,7 +351,7 @@ impl PostmortemEngine {
             Some(x) => x,
             None => ws.ranks().to_vec(),
         };
-        (stats, status, ranks)
+        (stats, status, ranks, attempts)
     }
 
     // --- SpMV path ------------------------------------------------------
@@ -315,10 +390,10 @@ impl PostmortemEngine {
             let part_idx = self.part_index_of(w);
             let part = &self.set.graphs()[part_idx];
             let warm = self.cfg.partial_init && prev_part == Some(part_idx);
-            let (stats, status, ranks) =
+            let (stats, status, ranks, attempts) =
                 self.single_window(part, w, warm.then_some(prev.as_slice()), inner, &mut ws);
             let valid = status.is_valid();
-            out.push(self.make_output(w, part, stats, &ranks, status));
+            out.push(self.make_output(w, part, stats, &ranks, status, attempts));
             // Keep this window's ranks as the next window's previous
             // vector; after a failed window the next one starts cold.
             if valid {
@@ -362,24 +437,35 @@ impl PostmortemEngine {
                 ..self.cfg.pr
             };
             let n_local = pull.num_vertices();
-            let (stats, status, override_ranks) = {
+            let attempt_no = Cell::new(0u16);
+            let (stats, status, override_ranks, attempts) = {
                 let ws = &mut ws;
                 let prev_ref = &prev;
+                let attempt_no = &attempt_no;
                 let kernel = move |uniform: bool| {
                     let init = if warm && !uniform {
                         Init::Partial(prev_ref)
                     } else {
                         Init::Uniform
                     };
+                    attempt_no.set(attempt_no.get() + 1);
+                    let bridge = TelemetryKernelBridge::new(&self.tele, attempt_no.get());
+                    let obs = if self.tele.is_enabled() {
+                        Obs::new(&bridge, w as u32)
+                    } else {
+                        Obs::off()
+                    };
                     if self.cfg.use_window_index {
                         let view = part.index_view(w);
-                        pagerank_window_blocking_indexed(pull, push, &view, init, &prcfg, ws)
+                        pagerank_window_blocking_indexed_obs(
+                            pull, push, &view, init, &prcfg, ws, obs,
+                        )
                     } else {
-                        pagerank_window_blocking(pull, push, range, init, &prcfg, ws)
+                        pagerank_window_blocking_obs(pull, push, range, init, &prcfg, ws, obs)
                     }
                 };
                 let oracle = || oracle_for(pull, push, range, &self.cfg.pr);
-                self.recover_window(warm, n_local, kernel, oracle)
+                self.recover_window(w as u32, warm, n_local, kernel, oracle)
             };
             if !status.is_valid() {
                 ws = BlockingWorkspace::default();
@@ -389,7 +475,7 @@ impl PostmortemEngine {
                 Some(x) => x,
                 None => ws.pr.x.clone(),
             };
-            out.push(self.make_output(w, part, stats, &ranks, status));
+            out.push(self.make_output(w, part, stats, &ranks, status, attempts));
             if valid {
                 prev = ranks;
                 prev_part = Some(part_idx);
@@ -482,15 +568,23 @@ impl PostmortemEngine {
                 let r = lw / region;
                 let warm = self.cfg.partial_init && j > 0;
                 let prev_ref = if warm { prev[r].as_deref() } else { None };
-                let (stats, status, ranks) =
+                let (stats, status, ranks, attempts) =
                     self.single_window(part, w0 + lw, prev_ref, inner, &mut pr_ws);
                 prev[r] = status.is_valid().then(|| ranks.clone());
-                out.push(self.make_output(w0 + lw, part, stats, &ranks, status));
+                out.push(self.make_output(w0 + lw, part, stats, &ranks, status, attempts));
             }
             if clean.is_empty() {
                 continue;
             }
-            let ranges: Vec<_> = clean.iter().map(|&lw| self.spec().window(w0 + lw)).collect();
+            let ranges: Vec<_> = clean
+                .iter()
+                .map(|&lw| self.spec().window(w0 + lw))
+                .collect();
+            // Lane → global-window map so batched observations land on the
+            // right trace rows; a whole batch is always attempt 1 (lane
+            // escalation reruns through `single_window`).
+            let win_ids: Vec<u32> = clean.iter().map(|&lw| (w0 + lw) as u32).collect();
+            let bridge = TelemetryKernelBridge::new(&self.tele, 1);
             let batch = {
                 let inits: Vec<Init<'_>> = clean
                     .iter()
@@ -503,11 +597,16 @@ impl PostmortemEngine {
                     })
                     .collect();
                 let (pull, push) = (part.pull_tcsr(), part.tcsr());
+                let obs = if self.tele.is_enabled() {
+                    BatchObs::new(&bridge, &win_ids)
+                } else {
+                    BatchObs::off()
+                };
                 catch_unwind(AssertUnwindSafe(|| {
                     if self.cfg.use_window_index {
                         let index = part.window_index();
                         let views: Vec<_> = clean.iter().map(|&lw| index.view(lw)).collect();
-                        pagerank_batch_indexed(
+                        pagerank_batch_indexed_obs(
                             pull,
                             push,
                             &views,
@@ -515,9 +614,19 @@ impl PostmortemEngine {
                             &self.cfg.pr,
                             inner,
                             &mut ws,
+                            obs,
                         )
                     } else {
-                        pagerank_batch(pull, push, &ranges, &inits, &self.cfg.pr, inner, &mut ws)
+                        pagerank_batch_obs(
+                            pull,
+                            push,
+                            &ranges,
+                            &inits,
+                            &self.cfg.pr,
+                            inner,
+                            &mut ws,
+                            obs,
+                        )
                     }
                 }))
             };
@@ -536,7 +645,7 @@ impl PostmortemEngine {
                                 }
                             };
                             let lane = ws.lane(i, nlanes);
-                            out.push(self.make_output(w, part, st, &lane, status));
+                            out.push(self.make_output(w, part, st, &lane, status, 1));
                             prev[lw / region] = Some(lane);
                         } else {
                             // Per-lane escalation: recompute this window
@@ -544,10 +653,10 @@ impl PostmortemEngine {
                             let r = lw / region;
                             let warm = self.cfg.partial_init && j > 0;
                             let prev_ref = if warm { prev[r].as_deref() } else { None };
-                            let (stats2, status, ranks) =
+                            let (stats2, status, ranks, attempts) =
                                 self.single_window(part, w, prev_ref, inner, &mut pr_ws);
                             prev[r] = status.is_valid().then(|| ranks.clone());
-                            out.push(self.make_output(w, part, stats2, &ranks, status));
+                            out.push(self.make_output(w, part, stats2, &ranks, status, attempts));
                         }
                     }
                 }
@@ -561,10 +670,10 @@ impl PostmortemEngine {
                         let r = lw / region;
                         let warm = self.cfg.partial_init && j > 0;
                         let prev_ref = if warm { prev[r].as_deref() } else { None };
-                        let (stats, status, ranks) =
+                        let (stats, status, ranks, attempts) =
                             self.single_window(part, w0 + lw, prev_ref, inner, &mut pr_ws);
                         prev[r] = status.is_valid().then(|| ranks.clone());
-                        out.push(self.make_output(w0 + lw, part, stats, &ranks, status));
+                        out.push(self.make_output(w0 + lw, part, stats, &ranks, status, attempts));
                     }
                 }
             }
@@ -587,7 +696,25 @@ impl PostmortemEngine {
         stats: PrStats,
         local_ranks: &[f64],
         status: WindowStatus,
+        attempts: u16,
     ) -> WindowOutput {
+        let w32 = window as u32;
+        let (kind, counter) = match &status {
+            WindowStatus::Ok => (TraceKind::WindowOk, "windows.ok"),
+            WindowStatus::Recovered { .. } => (TraceKind::WindowRecovered, "windows.recovered"),
+            WindowStatus::Failed { .. } => (TraceKind::WindowFailed, "windows.failed"),
+        };
+        self.tele.add(counter, 1);
+        self.tele
+            .observe("window.iterations", stats.iterations as f64);
+        self.tele
+            .record(TraceEvent::marker(TraceKind::WindowStart, w32, 1, 0));
+        self.tele.record(TraceEvent::marker(
+            kind,
+            w32,
+            attempts,
+            stats.iterations as u32,
+        ));
         let map = part.vertex_map();
         let fingerprint = local_ranks
             .iter()
@@ -605,6 +732,7 @@ impl PostmortemEngine {
             fingerprint,
             ranks,
             status,
+            attempts,
         }
     }
 }

@@ -1,0 +1,124 @@
+//! The bridge between the kernel crate's observation hooks and a
+//! [`Telemetry`] sink.
+//!
+//! The kernel crate stays dependency-free by defining only the
+//! [`tempopr_kernel::KernelObserver`] trait; this module supplies the one
+//! implementation the drivers use. One bridge is constructed per kernel
+//! *attempt* so every forwarded trace event carries the recovery-attempt
+//! label (1 = configured run, 2 = full-init retry) without interior
+//! mutability — the bridge itself is a pair of plain references and is
+//! trivially `Sync` for the scheduler's thread pool.
+
+use tempopr_kernel::KernelObserver;
+use tempopr_telemetry::{Phase, Telemetry, TraceEvent, TraceKind};
+
+/// Forwards kernel observations into a telemetry sink, labeling trace
+/// events with a fixed recovery-attempt number.
+pub struct TelemetryKernelBridge<'a> {
+    tele: &'a Telemetry,
+    attempt: u16,
+}
+
+impl<'a> TelemetryKernelBridge<'a> {
+    /// A bridge recording into `tele` under recovery attempt `attempt`.
+    pub fn new(tele: &'a Telemetry, attempt: u16) -> Self {
+        TelemetryKernelBridge { tele, attempt }
+    }
+}
+
+impl KernelObserver for TelemetryKernelBridge<'_> {
+    fn on_setup(&self, window: u32, active_vertices: usize, ns: u64) {
+        self.tele.add_phase_ns(Phase::WindowSetup, ns);
+        self.tele
+            .observe("setup.active_vertices", active_vertices as f64);
+        self.tele.record(TraceEvent::marker(
+            TraceKind::Setup,
+            window,
+            self.attempt,
+            0,
+        ));
+    }
+
+    fn on_iteration(
+        &self,
+        window: u32,
+        iteration: u32,
+        residual: f64,
+        mass: f64,
+        spmv_ns: u64,
+        check_ns: u64,
+    ) {
+        self.tele.add_phase_ns(Phase::Spmv, spmv_ns);
+        self.tele.add_phase_ns(Phase::ConvergenceCheck, check_ns);
+        self.tele.add("iterations.total", 1);
+        self.tele.record(TraceEvent::iteration(
+            window,
+            self.attempt,
+            iteration,
+            residual,
+            mass,
+        ));
+    }
+
+    fn on_guard(&self, window: u32, iteration: u32, restart: bool) {
+        let (kind, counter) = if restart {
+            (TraceKind::GuardRestart, "guard.restart")
+        } else {
+            (TraceKind::GuardRenormalize, "guard.renormalize")
+        };
+        self.tele.add(counter, 1);
+        self.tele
+            .record(TraceEvent::marker(kind, window, self.attempt, iteration));
+    }
+
+    fn on_batch_round(
+        &self,
+        _iteration: u32,
+        lanes_live: u32,
+        lanes_total: u32,
+        spmv_ns: u64,
+        check_ns: u64,
+    ) {
+        self.tele.add_phase_ns(Phase::Spmv, spmv_ns);
+        self.tele.add_phase_ns(Phase::ConvergenceCheck, check_ns);
+        self.tele.add("spmm.rounds", 1);
+        self.tele.observe("spmm.lanes_live", f64::from(lanes_live));
+        self.tele.set_gauge("spmm.lanes", f64::from(lanes_total));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridge_forwards_into_sink() {
+        let tele = Telemetry::enabled();
+        let b = TelemetryKernelBridge::new(&tele, 1);
+        b.on_setup(3, 17, 500);
+        b.on_iteration(3, 1, 0.25, 1.0, 100, 50);
+        b.on_guard(3, 1, true);
+        b.on_batch_round(1, 2, 4, 10, 5);
+        let report = tele.report();
+        assert_eq!(report.counter("iterations.total"), 1);
+        assert_eq!(report.counter("guard.restart"), 1);
+        assert_eq!(report.counter("spmm.rounds"), 1);
+        assert_eq!(report.phase_ns(Phase::WindowSetup), 500);
+        assert_eq!(report.phase_ns(Phase::Spmv), 110);
+        assert_eq!(report.phase_ns(Phase::ConvergenceCheck), 55);
+        let trace = tele.trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.events[0].kind, TraceKind::Setup);
+        assert_eq!(trace.events[1].kind, TraceKind::Iteration);
+        assert_eq!(trace.events[2].kind, TraceKind::GuardRestart);
+        assert!(trace.events.iter().all(|e| e.attempt == 1));
+    }
+
+    #[test]
+    fn bridge_on_noop_sink_records_nothing() {
+        let tele = Telemetry::noop();
+        let b = TelemetryKernelBridge::new(&tele, 1);
+        b.on_iteration(0, 1, 0.5, 1.0, 10, 10);
+        assert!(tele.trace().is_empty());
+    }
+}

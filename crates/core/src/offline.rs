@@ -9,10 +9,14 @@
 
 use crate::config::RetainMode;
 use crate::error::EngineError;
+use crate::observe::TelemetryKernelBridge;
 use crate::result::{RunOutput, SparseRanks, WindowOutput, WindowStatus};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use tempopr_graph::{Csr, EventLog, WindowSpec};
-use tempopr_kernel::{pagerank_csr, thread_pool, Init, PrConfig, PrStats, PrWorkspace, Scheduler};
+use tempopr_kernel::{
+    pagerank_csr_obs, thread_pool, Init, Obs, PrConfig, PrStats, PrWorkspace, Scheduler,
+};
+use tempopr_telemetry::{Phase as RunPhase, Telemetry, TraceEvent, TraceKind};
 
 /// Configuration of an offline run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,7 +73,21 @@ pub fn run_offline(
     spec: WindowSpec,
     cfg: &OfflineConfig,
 ) -> Result<RunOutput, EngineError> {
-    let inner = || run_offline_inner(log, spec, cfg);
+    run_offline_traced(log, spec, cfg, &Telemetry::noop())
+}
+
+/// [`run_offline`] recording into a telemetry sink: per-window CSR builds
+/// count toward the build phase (the offline model's defining cost),
+/// kernels report SpMV/check time and the convergence trace, and CSR sizes
+/// land in the `memory.csr_bytes` histogram. A noop sink is exactly
+/// [`run_offline`].
+pub fn run_offline_traced(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &OfflineConfig,
+    tele: &Telemetry,
+) -> Result<RunOutput, EngineError> {
+    let inner = || run_offline_inner(log, spec, cfg, tele);
     let mut out = if cfg.threads > 0 {
         thread_pool(cfg.threads)?.install(inner)
     } else {
@@ -78,17 +96,24 @@ pub fn run_offline(
     out.windows.sort_by_key(|w| w.window);
     out.finalize_status();
     out.assert_complete(spec.count);
+    tele.add("windows.total", out.windows.len() as u64);
+    tele.set_gauge("run.degraded", f64::from(u8::from(out.degraded)));
     Ok(out)
 }
 
-fn run_offline_inner(log: &EventLog, spec: WindowSpec, cfg: &OfflineConfig) -> RunOutput {
+fn run_offline_inner(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &OfflineConfig,
+    tele: &Telemetry,
+) -> RunOutput {
     let windows = if cfg.parallel_windows {
         cfg.scheduler.map_reduce_range(
             spec.count,
             Vec::new(),
             |r| {
                 let mut ws = PrWorkspace::default();
-                r.map(|w| offline_window(log, spec, cfg, w, None, &mut ws))
+                r.map(|w| offline_window(log, spec, cfg, w, None, &mut ws, tele))
                     .collect()
             },
             |mut a: Vec<WindowOutput>, mut b| {
@@ -99,7 +124,7 @@ fn run_offline_inner(log: &EventLog, spec: WindowSpec, cfg: &OfflineConfig) -> R
     } else {
         let mut ws = PrWorkspace::default();
         (0..spec.count)
-            .map(|w| offline_window(log, spec, cfg, w, Some(&cfg.scheduler), &mut ws))
+            .map(|w| offline_window(log, spec, cfg, w, Some(&cfg.scheduler), &mut ws, tele))
             .collect()
     };
     RunOutput {
@@ -115,22 +140,32 @@ fn offline_window(
     w: usize,
     inner: Option<&Scheduler>,
     ws: &mut PrWorkspace,
+    tele: &Telemetry,
 ) -> WindowOutput {
     let range = spec.window(w);
+    let build = tele.phase(RunPhase::Build);
     let events = log.slice_by_time(range.start, range.end);
     // The per-window construction the offline model pays for: a fresh CSR
     // over the whole universe.
     let csr = Csr::from_events(log.num_vertices(), events, cfg.symmetric);
+    drop(build);
+    tele.observe("memory.csr_bytes", csr.memory_bytes() as f64);
+    let bridge = TelemetryKernelBridge::new(tele, 1);
+    let obs = if tele.is_enabled() {
+        Obs::new(&bridge, w as u32)
+    } else {
+        Obs::off()
+    };
     // Offline windows always start from uniform init, so the engine's
     // full-init retry is meaningless here; a kernel error, panic, or
     // non-convergence simply fails the window (the run continues and the
     // output is flagged degraded).
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         if cfg.symmetric {
-            pagerank_csr(&csr, &csr, Init::Uniform, &cfg.pr, inner, ws)
+            pagerank_csr_obs(&csr, &csr, Init::Uniform, &cfg.pr, inner, ws, obs)
         } else {
             let pull = csr.transpose();
-            pagerank_csr(&pull, &csr, Init::Uniform, &cfg.pr, inner, ws)
+            pagerank_csr_obs(&pull, &csr, Init::Uniform, &cfg.pr, inner, ws, obs)
         }
     }));
     let (stats, status) = match attempt {
@@ -147,10 +182,7 @@ fn offline_window(
         Ok(Ok(stats)) => (
             stats,
             WindowStatus::Failed {
-                diagnostic: format!(
-                    "did not converge within {} iterations",
-                    cfg.pr.max_iters
-                ),
+                diagnostic: format!("did not converge within {} iterations", cfg.pr.max_iters),
             },
         ),
         Ok(Err(e)) => (
@@ -170,6 +202,20 @@ fn offline_window(
             )
         }
     };
+    let (kind, counter) = match &status {
+        WindowStatus::Ok => (TraceKind::WindowOk, "windows.ok"),
+        WindowStatus::Recovered { .. } => (TraceKind::WindowRecovered, "windows.recovered"),
+        WindowStatus::Failed { .. } => (TraceKind::WindowFailed, "windows.failed"),
+    };
+    tele.add(counter, 1);
+    tele.observe("window.iterations", stats.iterations as f64);
+    tele.record(TraceEvent::marker(TraceKind::WindowStart, w as u32, 1, 0));
+    tele.record(TraceEvent::marker(
+        kind,
+        w as u32,
+        1,
+        stats.iterations as u32,
+    ));
     let sparse = if status.is_valid() {
         SparseRanks::from_dense(ws.ranks())
     } else {
@@ -185,6 +231,7 @@ fn offline_window(
             RetainMode::Full => Some(sparse),
             RetainMode::Summary => None,
         },
+        attempts: 1,
     }
 }
 

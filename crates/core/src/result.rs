@@ -174,6 +174,13 @@ pub struct WindowOutput {
     pub ranks: Option<SparseRanks>,
     /// Terminal state: ok, recovered, or failed.
     pub status: WindowStatus,
+    /// Highest recovery rung reached: 1 = the configured attempt only,
+    /// 2 = full-init retry, 3 = dense oracle. Failed windows report the
+    /// last rung tried, so a failed-then-recovered window is
+    /// distinguishable from a first-attempt success in exports even though
+    /// `stats` only describes the final attempt (the per-attempt residual
+    /// history lives in the run trace).
+    pub attempts: u16,
 }
 
 /// Outcome of a whole run: one output per window, in window order.
@@ -317,6 +324,7 @@ mod tests {
             fingerprint: 0.0,
             ranks: None,
             status: WindowStatus::Ok,
+            attempts: 1,
         };
         let out = RunOutput {
             windows: vec![mk(0, 3), mk(1, 5)],
@@ -337,6 +345,7 @@ mod tests {
             fingerprint: 0.0,
             ranks: None,
             status,
+            attempts: 1,
         };
         let mut out = RunOutput {
             windows: vec![

@@ -136,6 +136,13 @@ impl Csr {
             .count()
     }
 
+    /// Heap bytes held by the row/column arrays — the per-window
+    /// construction cost the offline model's memory accounting reports.
+    pub fn memory_bytes(&self) -> usize {
+        self.row.len() * std::mem::size_of::<usize>()
+            + self.col.len() * std::mem::size_of::<VertexId>()
+    }
+
     /// The transpose graph (in-edges become out-edges).
     pub fn transpose(&self) -> Csr {
         let mut pairs = Vec::with_capacity(self.col.len());

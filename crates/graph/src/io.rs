@@ -136,7 +136,9 @@ impl IngestReport {
     /// True when nothing unusual was seen (no drops, loops, duplicates,
     /// or reordering).
     pub fn is_clean(&self) -> bool {
-        self.dropped() == 0 && self.self_loops == 0 && self.duplicates == 0
+        self.dropped() == 0
+            && self.self_loops == 0
+            && self.duplicates == 0
             && self.out_of_order == 0
     }
 
@@ -380,9 +382,9 @@ fn read_binary_impl<R: Read>(reader: R, total_len: Option<u64>) -> Result<EventL
             "vertex count {num_vertices} exceeds u32 id space"
         )));
     }
-    let body = count.checked_mul(RECORD_LEN as u64).ok_or_else(|| {
-        IoError::BadHeader(format!("record count {count} overflows byte length"))
-    })?;
+    let body = count
+        .checked_mul(RECORD_LEN as u64)
+        .ok_or_else(|| IoError::BadHeader(format!("record count {count} overflows byte length")))?;
     if let Some(total) = total_len {
         let available = total.saturating_sub(HEADER_LEN);
         if body > available {
@@ -521,11 +523,8 @@ mod tests {
     #[test]
     fn lenient_cap_aborts() {
         let input = "x\ny\nz\n0 1 5\n";
-        let err = read_text_report(
-            input.as_bytes(),
-            ParseMode::Lenient { max_bad_records: 2 },
-        )
-        .unwrap_err();
+        let err = read_text_report(input.as_bytes(), ParseMode::Lenient { max_bad_records: 2 })
+            .unwrap_err();
         assert!(matches!(
             err,
             IoError::TooManyBadRecords {
@@ -550,8 +549,7 @@ mod tests {
 
     #[test]
     fn clean_ingest_reports_clean() {
-        let (_, report) =
-            read_text_report("0 1 1\n1 2 2\n".as_bytes(), ParseMode::Strict).unwrap();
+        let (_, report) = read_text_report("0 1 1\n1 2 2\n".as_bytes(), ParseMode::Strict).unwrap();
         assert!(report.is_clean());
     }
 

@@ -30,10 +30,10 @@ pub mod windowindex;
 pub use csr::Csr;
 pub use error::GraphError;
 pub use events::{Event, EventLog, Timestamp, VertexId};
+pub use io::{IngestReport, IoError, ParseMode};
 pub use multiwindow::{
     parts_for_memory_budget, MultiWindowGraph, MultiWindowSet, PartitionStrategy,
 };
-pub use io::{IngestReport, IoError, ParseMode};
 pub use tcsr::{NeighborRun, TemporalCsr};
 pub use window::{TimeRange, WindowSpec};
 pub use windowindex::{WindowIndex, WindowIndexView};

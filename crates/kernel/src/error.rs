@@ -112,7 +112,10 @@ impl fmt::Display for KernelError {
                 write!(f, "1..=64 lanes required, got {got}")
             }
             KernelError::LaneMismatch { lanes, args } => {
-                write!(f, "one argument per lane required ({lanes} lanes, {args} given)")
+                write!(
+                    f,
+                    "one argument per lane required ({lanes} lanes, {args} given)"
+                )
             }
             KernelError::BadVectorLength {
                 what,

@@ -31,6 +31,7 @@
 
 pub mod error;
 pub mod linear_system;
+pub mod observe;
 pub mod pagerank;
 pub mod personalized;
 pub mod propagation;
@@ -40,15 +41,20 @@ pub mod spmm;
 
 pub use error::{FaultKind, KernelError, NumericFault};
 pub use linear_system::solve_pagerank_exact;
+pub use observe::{BatchObs, KernelObserver, Obs};
 pub use pagerank::{
-    pagerank_csr, pagerank_window, pagerank_window_indexed, pagerank_window_vec, GuardConfig,
-    Init, NumericPolicy, PrConfig, PrHealth, PrStats, PrWorkspace, MAX_RENORMALIZATIONS,
-    MAX_RESTARTS,
+    pagerank_csr, pagerank_csr_obs, pagerank_window, pagerank_window_indexed,
+    pagerank_window_indexed_obs, pagerank_window_obs, pagerank_window_vec, GuardConfig, Init,
+    NumericPolicy, PrConfig, PrHealth, PrStats, PrWorkspace, MAX_RENORMALIZATIONS, MAX_RESTARTS,
 };
 pub use personalized::pagerank_window_personalized;
 pub use propagation::{
-    pagerank_window_blocking, pagerank_window_blocking_indexed, BlockingWorkspace,
+    pagerank_window_blocking, pagerank_window_blocking_indexed,
+    pagerank_window_blocking_indexed_obs, pagerank_window_blocking_obs, BlockingWorkspace,
 };
 pub use reference::reference_pagerank;
 pub use scheduler::{thread_pool, Partitioner, Scheduler};
-pub use spmm::{pagerank_batch, pagerank_batch_indexed, SpmmWorkspace, MAX_LANES};
+pub use spmm::{
+    pagerank_batch, pagerank_batch_indexed, pagerank_batch_indexed_obs, pagerank_batch_obs,
+    SpmmWorkspace, MAX_LANES,
+};

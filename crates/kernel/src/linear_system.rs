@@ -160,7 +160,8 @@ mod tests {
         let t = TemporalCsr::from_events(18, &events, true);
         for range in [TimeRange::new(0, 60), TimeRange::new(30, 120)] {
             let exact = solve_pagerank_exact(&t, &t, range, &cfg(), 100).unwrap();
-            let (iter, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
+            let (iter, _) =
+                pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
             for v in 0..18 {
                 assert!(
                     (exact[v] - iter[v]).abs() < 1e-10,
@@ -187,7 +188,8 @@ mod tests {
         let pull = out.transpose();
         let range = TimeRange::new(0, 10);
         let exact = solve_pagerank_exact(&pull, &out, range, &cfg(), 100).unwrap();
-        let (iter, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None).unwrap();
+        let (iter, _) =
+            pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None).unwrap();
         for v in 0..4 {
             assert!(
                 (exact[v] - iter[v]).abs() < 1e-10,

@@ -30,6 +30,7 @@
 //! healthy inputs are bit-identical with guards on or off.
 
 use crate::error::{FaultKind, KernelError, NumericFault};
+use crate::observe::Obs;
 use crate::scheduler::Scheduler;
 use tempopr_graph::{Csr, TemporalCsr, TimeRange, VertexId, WindowIndexView};
 
@@ -267,6 +268,23 @@ pub fn pagerank_window(
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
 ) -> Result<PrStats, KernelError> {
+    pagerank_window_obs(pull, push, range, init, cfg, sched, ws, Obs::off())
+}
+
+/// [`pagerank_window`] with an observation carrier (see
+/// [`crate::observe`]). Observation is read-only: ranks are bit-identical
+/// with any sink attached.
+#[allow(clippy::too_many_arguments)]
+pub fn pagerank_window_obs(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    range: TimeRange,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+    obs: Obs<'_>,
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
     if push.num_vertices() != n {
         return Err(KernelError::MismatchedUniverses {
@@ -278,6 +296,7 @@ pub fn pagerank_window(
     let directed = !std::ptr::eq(pull, push);
 
     // --- Degree / activity pass -----------------------------------------
+    let t_setup = obs.now();
     match sched {
         Some(s) => {
             let deg_out = &mut ws.deg_out;
@@ -337,8 +356,9 @@ pub fn pagerank_window(
             }
         }
     }
+    obs.setup(ws.active_list.len(), t_setup);
 
-    power_iterate_window(pull, range, has_dangling, init, cfg, sched, ws)
+    power_iterate_window(pull, range, has_dangling, init, cfg, sched, ws, obs)
 }
 
 /// [`pagerank_window`] with the degree/activity phase served from a
@@ -354,6 +374,22 @@ pub fn pagerank_window_indexed(
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
 ) -> Result<PrStats, KernelError> {
+    pagerank_window_indexed_obs(pull, push, view, init, cfg, sched, ws, Obs::off())
+}
+
+/// [`pagerank_window_indexed`] with an observation carrier (see
+/// [`crate::observe`]).
+#[allow(clippy::too_many_arguments)]
+pub fn pagerank_window_indexed_obs(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    view: &WindowIndexView<'_>,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+    obs: Obs<'_>,
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
     if push.num_vertices() != n {
         return Err(KernelError::MismatchedUniverses {
@@ -363,8 +399,10 @@ pub fn pagerank_window_indexed(
     }
     ws.ensure(n);
     ws.deg_in.clear();
+    let t_setup = obs.now();
     let has_dangling = setup_from_index(view, ws);
-    power_iterate_window(pull, view.range, has_dangling, init, cfg, sched, ws)
+    obs.setup(ws.active_list.len(), t_setup);
+    power_iterate_window(pull, view.range, has_dangling, init, cfg, sched, ws, obs)
 }
 
 /// Fills the workspace's degree/activity buffers from an index view in
@@ -424,10 +462,7 @@ pub(crate) fn guard_check(
     } else {
         return Ok(GuardAction::Proceed);
     };
-    let escalate = Err(KernelError::Numeric {
-        iteration,
-        fault,
-    });
+    let escalate = Err(KernelError::Numeric { iteration, fault });
     match cfg.guard.policy {
         NumericPolicy::Fail => escalate,
         NumericPolicy::RenormalizeRetry => match fault {
@@ -457,6 +492,7 @@ pub(crate) fn guard_check(
 /// The shared iteration phase of [`pagerank_window`] and
 /// [`pagerank_window_indexed`]: initialization plus damped power iteration
 /// over the active list already present in `ws`.
+#[allow(clippy::too_many_arguments)]
 fn power_iterate_window(
     pull: &TemporalCsr,
     range: TimeRange,
@@ -465,6 +501,7 @@ fn power_iterate_window(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
+    obs: Obs<'_>,
 ) -> Result<PrStats, KernelError> {
     iterate_guarded(
         |x, inv_deg, v| pull_sum(pull, range, x, inv_deg, v),
@@ -473,6 +510,7 @@ fn power_iterate_window(
         cfg,
         sched,
         ws,
+        obs,
     )
 }
 
@@ -480,6 +518,7 @@ fn power_iterate_window(
 /// pull kernels: `pull_contrib(x, inv_deg, v)` supplies the pull sum for
 /// one destination. Monomorphized per caller, so the hot loop is identical
 /// to a hand-inlined version.
+#[allow(clippy::too_many_arguments)]
 fn iterate_guarded<PS>(
     pull_contrib: PS,
     has_dangling: bool,
@@ -487,6 +526,7 @@ fn iterate_guarded<PS>(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
+    obs: Obs<'_>,
 ) -> Result<PrStats, KernelError>
 where
     PS: Fn(&[f64], &[f64], VertexId) -> f64 + Sync,
@@ -529,6 +569,7 @@ where
             }
             _ => {}
         }
+        let t_iter = obs.now();
         let list = &ws.active_list;
         let dangling: f64 = if has_dangling {
             list.iter()
@@ -560,26 +601,31 @@ where
             }),
             None => body(0, compact),
         };
+        let t_mid = obs.now();
         match guard_check(diff, mass, 0, iterations, cfg, &mut health)? {
-            GuardAction::Proceed => {}
+            GuardAction::Proceed => {
+                for (i, &v) in ws.active_list.iter().enumerate() {
+                    ws.x[v as usize] = ws.y[i];
+                }
+                if diff < cfg.tol && cfg.fault != Some(FaultKind::ForceNonConvergence) {
+                    converged = true;
+                }
+            }
             GuardAction::Renormalize { scale } => {
                 for (i, &v) in ws.active_list.iter().enumerate() {
                     ws.x[v as usize] = ws.y[i] * scale;
                 }
-                continue;
+                obs.guard(iterations, false);
             }
             GuardAction::Restart => {
                 for &v in &ws.active_list {
                     ws.x[v as usize] = 1.0 / n_act_f;
                 }
-                continue;
+                obs.guard(iterations, true);
             }
         }
-        for (i, &v) in ws.active_list.iter().enumerate() {
-            ws.x[v as usize] = ws.y[i];
-        }
-        if diff < cfg.tol && cfg.fault != Some(FaultKind::ForceNonConvergence) {
-            converged = true;
+        obs.iteration(iterations, diff, mass, t_iter, t_mid);
+        if converged {
             break;
         }
     }
@@ -593,7 +639,7 @@ where
 
 /// Applies the [`FaultKind::CorruptReciprocal`] fault: multiplies the
 /// first active non-dangling vertex's `1/outdeg` by 1000.
-pub(crate) fn corrupt_first_reciprocal(active_list: &[u32], inv_deg: &mut [f64]) {
+pub fn corrupt_first_reciprocal(active_list: &[u32], inv_deg: &mut [f64]) {
     if let Some(&v) = active_list.iter().find(|&&v| inv_deg[v as usize] > 0.0) {
         inv_deg[v as usize] *= 1000.0;
     }
@@ -612,6 +658,19 @@ pub fn pagerank_csr(
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
 ) -> Result<PrStats, KernelError> {
+    pagerank_csr_obs(pull, push, init, cfg, sched, ws, Obs::off())
+}
+
+/// [`pagerank_csr`] with an observation carrier (see [`crate::observe`]).
+pub fn pagerank_csr_obs(
+    pull: &Csr,
+    push: &Csr,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+    obs: Obs<'_>,
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
     if push.num_vertices() != n {
         return Err(KernelError::MismatchedUniverses {
@@ -621,6 +680,7 @@ pub fn pagerank_csr(
     }
     ws.ensure(n);
     let directed = !std::ptr::eq(pull, push);
+    let t_setup = obs.now();
     // Degree pass through the scheduler, like the temporal kernel's; in
     // the directed case `deg_in` carries pull degrees for the activity
     // test. The order-dependent active-list build stays sequential.
@@ -682,6 +742,7 @@ pub fn pagerank_csr(
             }
         }
     }
+    obs.setup(ws.active_list.len(), t_setup);
     iterate_guarded(
         |x, inv_deg, v| {
             let mut s = 0.0;
@@ -695,6 +756,7 @@ pub fn pagerank_csr(
         cfg,
         sched,
         ws,
+        obs,
     )
 }
 

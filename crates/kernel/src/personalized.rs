@@ -257,7 +257,8 @@ mod tests {
         let (std_pr, _) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
         let pref = vec![1.0; 30];
         let mut ws = PrWorkspace::default();
-        let stats = pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws).unwrap();
+        let stats =
+            pagerank_window_personalized(&t, &t, range, &pref, &cfg(), None, &mut ws).unwrap();
         assert!(stats.converged);
         for (v, (a, b)) in std_pr.iter().zip(ws.x.iter()).enumerate() {
             assert!((a - b).abs() < 1e-9, "vertex {v}: {a} vs {b}");
@@ -344,7 +345,8 @@ mod tests {
             &cfg(),
             None,
             &mut ws,
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(stats.active_vertices, 0);
     }
 }

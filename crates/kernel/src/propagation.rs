@@ -18,6 +18,7 @@
 //! measured by the `ablations` bench.
 
 use crate::error::{FaultKind, KernelError};
+use crate::observe::Obs;
 use crate::pagerank::{
     corrupt_first_reciprocal, guard_check, initialize, setup_from_index, GuardAction, Init,
     PrConfig, PrHealth, PrStats, PrWorkspace,
@@ -50,6 +51,20 @@ pub fn pagerank_window_blocking(
     cfg: &PrConfig,
     ws: &mut BlockingWorkspace,
 ) -> Result<PrStats, KernelError> {
+    pagerank_window_blocking_obs(pull, push, range, init, cfg, ws, Obs::off())
+}
+
+/// [`pagerank_window_blocking`] with an observation carrier (see
+/// [`crate::observe`]).
+pub fn pagerank_window_blocking_obs(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    range: TimeRange,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    ws: &mut BlockingWorkspace,
+    obs: Obs<'_>,
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
     if push.num_vertices() != n {
         return Err(KernelError::MismatchedUniverses {
@@ -62,6 +77,7 @@ pub fn pagerank_window_blocking(
     prw.ensure(n);
 
     // Degree / activity pass (push degrees drive contributions).
+    let t_setup = obs.now();
     let mut has_dangling = false;
     for v in 0..n {
         let out = push.active_degree(v as VertexId, range) as u32;
@@ -77,8 +93,9 @@ pub fn pagerank_window_blocking(
             }
         }
     }
+    obs.setup(prw.active_list.len(), t_setup);
 
-    blocking_iterate(push, range, has_dangling, init, cfg, ws)
+    blocking_iterate(push, range, has_dangling, init, cfg, ws, obs)
 }
 
 /// [`pagerank_window_blocking`] with the degree/activity phase served from
@@ -92,6 +109,20 @@ pub fn pagerank_window_blocking_indexed(
     cfg: &PrConfig,
     ws: &mut BlockingWorkspace,
 ) -> Result<PrStats, KernelError> {
+    pagerank_window_blocking_indexed_obs(pull, push, view, init, cfg, ws, Obs::off())
+}
+
+/// [`pagerank_window_blocking_indexed`] with an observation carrier (see
+/// [`crate::observe`]).
+pub fn pagerank_window_blocking_indexed_obs(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    view: &WindowIndexView<'_>,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    ws: &mut BlockingWorkspace,
+    obs: Obs<'_>,
+) -> Result<PrStats, KernelError> {
     let n = pull.num_vertices();
     if push.num_vertices() != n {
         return Err(KernelError::MismatchedUniverses {
@@ -102,14 +133,17 @@ pub fn pagerank_window_blocking_indexed(
     let prw = &mut ws.pr;
     prw.ensure(n);
     prw.deg_in.clear();
+    let t_setup = obs.now();
     let has_dangling = setup_from_index(view, prw);
-    blocking_iterate(push, view.range, has_dangling, init, cfg, ws)
+    obs.setup(prw.active_list.len(), t_setup);
+    blocking_iterate(push, view.range, has_dangling, init, cfg, ws, obs)
 }
 
 /// The shared iteration phase of the blocking kernel: initialization plus
 /// bin/accumulate power iteration over the active list already in `ws.pr`.
 /// The numeric-health guards fold the rank-mass sum into the existing
 /// diff pass (see [`crate::GuardConfig`]).
+#[allow(clippy::too_many_arguments)]
 fn blocking_iterate(
     push: &TemporalCsr,
     range: TimeRange,
@@ -117,6 +151,7 @@ fn blocking_iterate(
     init: Init<'_>,
     cfg: &PrConfig,
     ws: &mut BlockingWorkspace,
+    obs: Obs<'_>,
 ) -> Result<PrStats, KernelError> {
     let n = push.num_vertices();
     let prw = &mut ws.pr;
@@ -155,6 +190,7 @@ fn blocking_iterate(
             }
             _ => {}
         }
+        let t_iter = obs.now();
         let dangling: f64 = if has_dangling {
             prw.active_list
                 .iter()
@@ -209,26 +245,31 @@ fn blocking_iterate(
             diff += (prw.y[i] - prw.x[v as usize]).abs();
             mass += prw.y[i];
         }
+        let t_mid = obs.now();
         match guard_check(diff, mass, 0, iterations, cfg, &mut health)? {
-            GuardAction::Proceed => {}
+            GuardAction::Proceed => {
+                for (i, &v) in prw.active_list.iter().enumerate() {
+                    prw.x[v as usize] = prw.y[i];
+                }
+                if diff < cfg.tol && cfg.fault != Some(FaultKind::ForceNonConvergence) {
+                    converged = true;
+                }
+            }
             GuardAction::Renormalize { scale } => {
                 for (i, &v) in prw.active_list.iter().enumerate() {
                     prw.x[v as usize] = prw.y[i] * scale;
                 }
-                continue;
+                obs.guard(iterations, false);
             }
             GuardAction::Restart => {
                 for &v in &prw.active_list {
                     prw.x[v as usize] = 1.0 / n_act_f;
                 }
-                continue;
+                obs.guard(iterations, true);
             }
         }
-        for (i, &v) in prw.active_list.iter().enumerate() {
-            prw.x[v as usize] = prw.y[i];
-        }
-        if diff < cfg.tol && cfg.fault != Some(FaultKind::ForceNonConvergence) {
-            converged = true;
+        obs.iteration(iterations, diff, mass, t_iter, t_mid);
+        if converged {
             break;
         }
     }
@@ -276,9 +317,11 @@ mod tests {
             TimeRange::new(100, 400),
             TimeRange::new(0, 700),
         ] {
-            let (pullx, ps) = pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
+            let (pullx, ps) =
+                pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
             let mut ws = BlockingWorkspace::default();
-            let bs = pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut ws).unwrap();
+            let bs =
+                pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut ws).unwrap();
             assert_eq!(ps.active_vertices, bs.active_vertices);
             for (v, (a, b)) in pullx.iter().zip(ws.pr.x.iter()).enumerate() {
                 assert!((a - b).abs() < 1e-9, "vertex {v}: {a} vs {b}");
@@ -292,7 +335,8 @@ mod tests {
         let out = TemporalCsr::from_events(40, &events, false);
         let pull = out.transpose();
         let range = TimeRange::new(0, 400);
-        let (pullx, _) = pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None).unwrap();
+        let (pullx, _) =
+            pagerank_window_vec(&pull, &out, range, Init::Uniform, &cfg(), None).unwrap();
         let mut ws = BlockingWorkspace::default();
         pagerank_window_blocking(&pull, &out, range, Init::Uniform, &cfg(), &mut ws).unwrap();
         for (v, (a, b)) in pullx.iter().zip(ws.pr.x.iter()).enumerate() {
@@ -307,7 +351,8 @@ mod tests {
         let r0 = TimeRange::new(0, 300);
         let r1 = TimeRange::new(100, 400);
         let (prev, _) = pagerank_window_vec(&t, &t, r0, Init::Uniform, &cfg(), None).unwrap();
-        let (expect, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None).unwrap();
+        let (expect, _) =
+            pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None).unwrap();
         let mut ws = BlockingWorkspace::default();
         pagerank_window_blocking(&t, &t, r1, Init::Partial(&prev), &cfg(), &mut ws).unwrap();
         for (v, (a, b)) in expect.iter().zip(ws.pr.x.iter()).enumerate() {
@@ -327,7 +372,8 @@ mod tests {
         let idx = WindowIndex::build(&t, None, &ranges);
         for (j, &range) in ranges.iter().enumerate() {
             let mut plain = BlockingWorkspace::default();
-            let ps = pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut plain).unwrap();
+            let ps =
+                pagerank_window_blocking(&t, &t, range, Init::Uniform, &cfg(), &mut plain).unwrap();
             let mut ixd = BlockingWorkspace::default();
             let is = pagerank_window_blocking_indexed(
                 &t,
@@ -336,7 +382,8 @@ mod tests {
                 Init::Uniform,
                 &cfg(),
                 &mut ixd,
-            ).unwrap();
+            )
+            .unwrap();
             assert_eq!(ps, is, "window {j}");
             assert_eq!(
                 plain.pr.x, ixd.pr.x,
@@ -349,7 +396,8 @@ mod tests {
         let didx = WindowIndex::build(&out, Some(&pull), &ranges);
         for (j, &range) in ranges.iter().enumerate() {
             let mut plain = BlockingWorkspace::default();
-            pagerank_window_blocking(&pull, &out, range, Init::Uniform, &cfg(), &mut plain).unwrap();
+            pagerank_window_blocking(&pull, &out, range, Init::Uniform, &cfg(), &mut plain)
+                .unwrap();
             let mut ixd = BlockingWorkspace::default();
             pagerank_window_blocking_indexed(
                 &pull,
@@ -358,7 +406,8 @@ mod tests {
                 Init::Uniform,
                 &cfg(),
                 &mut ixd,
-            ).unwrap();
+            )
+            .unwrap();
             assert_eq!(plain.pr.x, ixd.pr.x, "directed window {j}");
         }
     }
@@ -374,7 +423,8 @@ mod tests {
             Init::Uniform,
             &cfg(),
             &mut ws,
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(stats.active_vertices, 0);
         assert!(stats.converged);
     }
@@ -391,7 +441,8 @@ mod tests {
             Init::Uniform,
             &cfg(),
             &mut ws,
-        ).unwrap();
+        )
+        .unwrap();
         pagerank_window_blocking(
             &t,
             &t,
@@ -399,9 +450,11 @@ mod tests {
             Init::Uniform,
             &cfg(),
             &mut ws,
-        ).unwrap();
+        )
+        .unwrap();
         let (expect, _) =
-            pagerank_window_vec(&t, &t, TimeRange::new(0, 100), Init::Uniform, &cfg(), None).unwrap();
+            pagerank_window_vec(&t, &t, TimeRange::new(0, 100), Init::Uniform, &cfg(), None)
+                .unwrap();
         for (v, (a, b)) in expect.iter().zip(ws.pr.x.iter()).enumerate() {
             assert!((a - b).abs() < 1e-9, "vertex {v}");
         }

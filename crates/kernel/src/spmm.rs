@@ -15,6 +15,7 @@
 //! arithmetic plus a popcount-style mask walk.
 
 use crate::error::{FaultKind, KernelError};
+use crate::observe::BatchObs;
 use crate::pagerank::{guard_check, GuardAction, PrHealth};
 use crate::pagerank::{Init, PrConfig, PrStats};
 use crate::scheduler::Scheduler;
@@ -85,6 +86,23 @@ pub fn pagerank_batch(
     sched: Option<&Scheduler>,
     ws: &mut SpmmWorkspace,
 ) -> Result<Vec<PrStats>, KernelError> {
+    pagerank_batch_obs(pull, push, ranges, inits, cfg, sched, ws, BatchObs::off())
+}
+
+/// [`pagerank_batch`] with an observation carrier (see [`crate::observe`]).
+/// Observation is read-only: ranks are bit-identical with any sink
+/// attached.
+#[allow(clippy::too_many_arguments)]
+pub fn pagerank_batch_obs(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    ranges: &[TimeRange],
+    inits: &[Init<'_>],
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut SpmmWorkspace,
+    obs: BatchObs<'_>,
+) -> Result<Vec<PrStats>, KernelError> {
     let vl = ranges.len();
     if vl == 0 || vl > MAX_LANES {
         return Err(KernelError::BadLaneCount { got: vl });
@@ -105,6 +123,7 @@ pub fn pagerank_batch(
     let directed = !std::ptr::eq(pull, push);
 
     // --- Per-batch precompute: run-compressed adjacency + lane masks ----
+    let t_setup = obs.now();
     build_run_masks(pull, ranges, ws);
     // Out-degrees per lane (interleaved), from the push structure.
     ws.inv_deg.clear();
@@ -170,8 +189,9 @@ pub fn pagerank_batch(
             m &= m - 1;
         }
     }
+    obs.setup(&n_act, t_setup);
 
-    batch_iterate(vl, inits, cfg, sched, ws, &n_act)
+    batch_iterate(vl, inits, cfg, sched, ws, &n_act, obs)
 }
 
 /// [`pagerank_batch`] with per-lane degrees and activity served from
@@ -188,6 +208,22 @@ pub fn pagerank_batch_indexed(
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
     ws: &mut SpmmWorkspace,
+) -> Result<Vec<PrStats>, KernelError> {
+    pagerank_batch_indexed_obs(pull, push, views, inits, cfg, sched, ws, BatchObs::off())
+}
+
+/// [`pagerank_batch_indexed`] with an observation carrier (see
+/// [`crate::observe`]).
+#[allow(clippy::too_many_arguments)]
+pub fn pagerank_batch_indexed_obs(
+    pull: &TemporalCsr,
+    push: &TemporalCsr,
+    views: &[WindowIndexView<'_>],
+    inits: &[Init<'_>],
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut SpmmWorkspace,
+    obs: BatchObs<'_>,
 ) -> Result<Vec<PrStats>, KernelError> {
     let vl = views.len();
     if vl == 0 || vl > MAX_LANES {
@@ -207,6 +243,7 @@ pub fn pagerank_batch_indexed(
         });
     }
 
+    let t_setup = obs.now();
     let ranges: Vec<TimeRange> = views.iter().map(|v| v.range).collect();
     build_run_masks(pull, &ranges, ws);
     ws.inv_deg.clear();
@@ -234,8 +271,9 @@ pub fn pagerank_batch_indexed(
             ws.active_list.push(v as u32);
         }
     }
+    obs.setup(&n_act, t_setup);
 
-    batch_iterate(vl, inits, cfg, sched, ws, &n_act)
+    batch_iterate(vl, inits, cfg, sched, ws, &n_act, obs)
 }
 
 /// The shared per-batch iteration phase: lane initialization plus the
@@ -255,6 +293,7 @@ fn batch_iterate(
     sched: Option<&Scheduler>,
     ws: &mut SpmmWorkspace,
     n_act: &[usize],
+    obs: BatchObs<'_>,
 ) -> Result<Vec<PrStats>, KernelError> {
     let n = ws.active_mask.len();
 
@@ -311,6 +350,7 @@ fn batch_iterate(
             }
             _ => {}
         }
+        let t_round = obs.now();
         // Lanes that already converged are masked out of the pull walk and
         // keep their current values; only live lanes pay for the iteration.
         let live = !done & all_done;
@@ -400,6 +440,7 @@ fn batch_iterate(
             ),
             None => body(0, compact),
         };
+        let t_mid = obs.now();
         for (r, &v) in ws.active_list.iter().enumerate() {
             let v = v as usize;
             ws.x[v * vl..(v + 1) * vl].copy_from_slice(&ws.y[r * vl..(r + 1) * vl]);
@@ -420,6 +461,7 @@ fn batch_iterate(
                             ws.x[v as usize * vl + k] *= scale;
                         }
                         faulted |= 1 << k;
+                        obs.lane_guard(k, iter, false);
                     }
                     GuardAction::Restart => {
                         initialize_lane(
@@ -431,6 +473,7 @@ fn batch_iterate(
                             &mut ws.x,
                         )?;
                         faulted |= 1 << k;
+                        obs.lane_guard(k, iter, true);
                     }
                 }
             }
@@ -448,6 +491,15 @@ fn batch_iterate(
                 stats[k].converged = true;
                 done |= 1 << k;
             }
+        }
+        if obs.is_on() {
+            let mut m = live;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                obs.lane_iteration(k, iter, diff[k], mass[k]);
+            }
+            obs.round(iter, live.count_ones(), vl, t_round, t_mid);
         }
     }
     Ok(stats)
@@ -612,7 +664,8 @@ mod tests {
         let mut ws = SpmmWorkspace::default();
         let stats = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws).unwrap();
         for (k, r) in ranges.iter().enumerate() {
-            let (expect, es) = pagerank_window_vec(&t, &t, *r, Init::Uniform, &cfg(), None).unwrap();
+            let (expect, es) =
+                pagerank_window_vec(&t, &t, *r, Init::Uniform, &cfg(), None).unwrap();
             let got = ws.lane(k, 8);
             assert_close(&got, &expect, 1e-9);
             assert_eq!(stats[k].active_vertices, es.active_vertices, "lane {k}");
@@ -649,7 +702,8 @@ mod tests {
         let mut ws = SpmmWorkspace::default();
         pagerank_batch(&pull, &out, &ranges, &inits, &cfg(), None, &mut ws).unwrap();
         for (k, r) in ranges.iter().enumerate() {
-            let (expect, _) = pagerank_window_vec(&pull, &out, *r, Init::Uniform, &cfg(), None).unwrap();
+            let (expect, _) =
+                pagerank_window_vec(&pull, &out, *r, Init::Uniform, &cfg(), None).unwrap();
             assert_close(&ws.lane(k, 2), &expect, 1e-9);
         }
     }
@@ -666,7 +720,8 @@ mod tests {
         assert!(stats[1].converged);
         assert!(ws.lane(1, 2).iter().all(|&x| x == 0.0));
         // Lane 0 unaffected by the dead lane.
-        let (expect, _) = pagerank_window_vec(&t, &t, ranges[0], Init::Uniform, &cfg(), None).unwrap();
+        let (expect, _) =
+            pagerank_window_vec(&t, &t, ranges[0], Init::Uniform, &cfg(), None).unwrap();
         assert_close(&ws.lane(0, 2), &expect, 1e-9);
     }
 
@@ -681,7 +736,8 @@ mod tests {
         let inits = vec![Init::Partial(&prev)];
         let mut ws = SpmmWorkspace::default();
         pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws).unwrap();
-        let (expect, _) = pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None).unwrap();
+        let (expect, _) =
+            pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None).unwrap();
         assert_close(&ws.lane(0, 1), &expect, 1e-9);
     }
 
@@ -821,7 +877,8 @@ mod tests {
         let mut ws = SpmmWorkspace::default();
         let stats = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws).unwrap();
         assert_eq!(stats.len(), 64);
-        let (expect, _) = pagerank_window_vec(&t, &t, ranges[63], Init::Uniform, &cfg(), None).unwrap();
+        let (expect, _) =
+            pagerank_window_vec(&t, &t, ranges[63], Init::Uniform, &cfg(), None).unwrap();
         assert_close(&ws.lane(63, 64), &expect, 1e-9);
     }
 }

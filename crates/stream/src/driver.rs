@@ -9,13 +9,14 @@
 //! across-window parallelism: parallelism is limited to inside the kernel
 //! and the update batches.
 
-use crate::pagerank::{local_push_pagerank, streaming_pagerank};
+use crate::pagerank::{local_push_pagerank, streaming_pagerank_obs};
 use crate::store::StreamingGraph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use tempopr_core::RetainMode;
 use tempopr_core::{EngineError, RunOutput, SparseRanks, WindowOutput, WindowStatus};
+use tempopr_core::{FaultPlan, RetainMode, TelemetryKernelBridge};
 use tempopr_graph::{EventLog, WindowSpec};
-use tempopr_kernel::{thread_pool, Init, PrConfig, PrStats, PrWorkspace, Scheduler};
+use tempopr_kernel::{thread_pool, Init, Obs, PrConfig, PrStats, PrWorkspace, Scheduler};
+use tempopr_telemetry::{Phase as RunPhase, Telemetry, TraceEvent, TraceKind};
 
 /// How ranks are updated after each window's batch of edge updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,7 +34,7 @@ pub enum IncrementalMode {
 }
 
 /// Configuration of a streaming run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamingConfig {
     /// PageRank parameters.
     pub pr: PrConfig,
@@ -47,6 +48,11 @@ pub struct StreamingConfig {
     pub threads: usize,
     /// Output retention.
     pub retain: RetainMode,
+    /// Deterministic fault injection plan (testing only). Empty by
+    /// default; when empty, the run takes exactly the fault-free code
+    /// path. Mirrors the postmortem engine's plan so the driver's
+    /// failure/cold-restart path is testable.
+    pub faults: FaultPlan,
 }
 
 impl Default for StreamingConfig {
@@ -58,6 +64,7 @@ impl Default for StreamingConfig {
             parallel_kernel: true,
             threads: 0,
             retain: RetainMode::Full,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -85,7 +92,22 @@ pub fn run_streaming(
     spec: WindowSpec,
     cfg: &StreamingConfig,
 ) -> Result<RunOutput, EngineError> {
-    let inner = || run_streaming_inner(log, spec, cfg);
+    run_streaming_traced(log, spec, cfg, &Telemetry::noop())
+}
+
+/// [`run_streaming`] recording into a telemetry sink: update batches count
+/// toward the window-setup phase (the streaming model's defining cost),
+/// kernels report residual traces, cold restarts after a failed window are
+/// counted under `recovery.cold_restart`, and the store's resident bytes
+/// land in the `memory.stream_bytes` gauge. A noop sink is exactly
+/// [`run_streaming`].
+pub fn run_streaming_traced(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &StreamingConfig,
+    tele: &Telemetry,
+) -> Result<RunOutput, EngineError> {
+    let inner = || run_streaming_inner(log, spec, cfg, tele);
     let mut out = if cfg.threads > 0 {
         thread_pool(cfg.threads)?.install(inner)
     } else {
@@ -93,10 +115,17 @@ pub fn run_streaming(
     };
     out.finalize_status();
     out.assert_complete(spec.count);
+    tele.add("windows.total", out.windows.len() as u64);
+    tele.set_gauge("run.degraded", f64::from(u8::from(out.degraded)));
     Ok(out)
 }
 
-fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) -> RunOutput {
+fn run_streaming_inner(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &StreamingConfig,
+    tele: &Telemetry,
+) -> RunOutput {
     let n = log.num_vertices();
     let mut graph = StreamingGraph::new(n);
     let mut ws = PrWorkspace::default();
@@ -109,6 +138,8 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
     for w in 0..spec.count {
         let range = spec.window(w);
         touched.clear();
+        // The update batch is the streaming model's per-window setup cost.
+        let setup = tele.phase(RunPhase::WindowSetup);
         // Insert events that entered the window.
         let ins_lo = if w == 0 {
             range.start
@@ -132,6 +163,30 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
                 touched.push(e.v);
             }
         }
+        drop(setup);
+
+        // A broken warm-start chain is the streaming model's recovery
+        // story: the window after a failure recomputes from a cold
+        // uniform start.
+        if w > 0 && !have_prev {
+            tele.add("recovery.cold_restart", 1);
+            tele.record(TraceEvent::marker(
+                TraceKind::RecoveryColdRestart,
+                w as u32,
+                1,
+                0,
+            ));
+        }
+        let pr = PrConfig {
+            fault: cfg.faults.fault_for(w).or(cfg.pr.fault),
+            ..cfg.pr
+        };
+        let bridge = TelemetryKernelBridge::new(tele, 1);
+        let obs = if tele.is_enabled() {
+            Obs::new(&bridge, w as u32)
+        } else {
+            Obs::off()
+        };
 
         // Recompute the analysis. A kernel error or panic poisons only
         // this window: the store itself is untouched by the kernels, so
@@ -139,7 +194,7 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
         // workspace is discarded and the next window starts cold).
         let attempt = catch_unwind(AssertUnwindSafe(|| match cfg.incremental {
             IncrementalMode::Recompute => {
-                streaming_pagerank(&graph, Init::Uniform, &cfg.pr, sched, &mut ws)
+                streaming_pagerank_obs(&graph, Init::Uniform, &pr, sched, &mut ws, obs)
             }
             IncrementalMode::WarmRestart => {
                 // Eq. 4-style warm start: shared vertices keep scaled
@@ -151,20 +206,30 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
                 } else {
                     Init::Uniform
                 };
-                streaming_pagerank(&graph, init, &cfg.pr, sched, &mut ws)
+                streaming_pagerank_obs(&graph, init, &pr, sched, &mut ws, obs)
             }
             IncrementalMode::LocalPush => {
                 if have_prev {
                     touched.sort_unstable();
                     touched.dedup();
-                    local_push_pagerank(&graph, &prev, &touched, &cfg.pr, &mut ws)
+                    // The push sweeps have no iteration structure a
+                    // kernel observer could report; their wall time is
+                    // attributed to the SpMV phase as a whole.
+                    let _push = tele.phase(RunPhase::Spmv);
+                    local_push_pagerank(&graph, &prev, &touched, &pr, &mut ws)
                 } else {
-                    streaming_pagerank(&graph, Init::Uniform, &cfg.pr, sched, &mut ws)
+                    streaming_pagerank_obs(&graph, Init::Uniform, &pr, sched, &mut ws, obs)
                 }
             }
         }));
         let (stats, status) = match attempt {
-            Ok(Ok(stats)) => (stats, WindowStatus::Ok),
+            Ok(Ok(stats)) if stats.converged || pr.max_iters == 0 => (stats, WindowStatus::Ok),
+            Ok(Ok(stats)) => (
+                stats,
+                WindowStatus::Failed {
+                    diagnostic: format!("did not converge within {} iterations", pr.max_iters),
+                },
+            ),
             Ok(Err(e)) => (
                 PrStats::empty(),
                 WindowStatus::Failed {
@@ -181,6 +246,20 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
                 )
             }
         };
+        let (kind, counter) = match &status {
+            WindowStatus::Ok => (TraceKind::WindowOk, "windows.ok"),
+            WindowStatus::Recovered { .. } => (TraceKind::WindowRecovered, "windows.recovered"),
+            WindowStatus::Failed { .. } => (TraceKind::WindowFailed, "windows.failed"),
+        };
+        tele.add(counter, 1);
+        tele.observe("window.iterations", stats.iterations as f64);
+        tele.record(TraceEvent::marker(TraceKind::WindowStart, w as u32, 1, 0));
+        tele.record(TraceEvent::marker(
+            kind,
+            w as u32,
+            1,
+            stats.iterations as u32,
+        ));
         let sparse = if status.is_valid() {
             prev.copy_from_slice(ws.ranks());
             have_prev = true;
@@ -199,8 +278,10 @@ fn run_streaming_inner(log: &EventLog, spec: WindowSpec, cfg: &StreamingConfig) 
                 RetainMode::Full => Some(sparse),
                 RetainMode::Summary => None,
             },
+            attempts: 1,
         });
     }
+    tele.set_gauge("memory.stream_bytes", graph.memory_bytes() as f64);
     RunOutput {
         windows,
         degraded: false, // recomputed by finalize_status

@@ -17,7 +17,9 @@
 //!   moves more than a threshold. Cheap for small batches, approximate.
 
 use crate::store::StreamingGraph;
-use tempopr_kernel::{Init, KernelError, PrConfig, PrStats, PrWorkspace, Scheduler};
+use tempopr_kernel::{
+    FaultKind, Init, KernelError, NumericFault, Obs, PrConfig, PrStats, PrWorkspace, Scheduler,
+};
 
 /// Computes PageRank on the current streaming graph.
 ///
@@ -32,6 +34,23 @@ pub fn streaming_pagerank(
     sched: Option<&Scheduler>,
     ws: &mut PrWorkspace,
 ) -> Result<PrStats, KernelError> {
+    streaming_pagerank_obs(g, init, cfg, sched, ws, Obs::off())
+}
+
+/// [`streaming_pagerank`] with an observation carrier: reports setup,
+/// per-iteration residual/mass, and honors the same [`FaultKind`]
+/// injection hooks as the static kernels so the driver's failure paths are
+/// testable. The observer is read-only — the mass reduction only runs when
+/// a sink is attached, and the computed ranks are bit-identical either way.
+pub fn streaming_pagerank_obs(
+    g: &StreamingGraph,
+    init: Init<'_>,
+    cfg: &PrConfig,
+    sched: Option<&Scheduler>,
+    ws: &mut PrWorkspace,
+    obs: Obs<'_>,
+) -> Result<PrStats, KernelError> {
+    let t_setup = obs.now();
     let n = g.num_vertices();
     ws.ensure(n);
     for v in 0..n {
@@ -45,10 +64,15 @@ pub fn streaming_pagerank(
     }
     let n_act = ws.active_list.len();
     if n_act == 0 {
+        obs.setup(0, t_setup);
         return Ok(PrStats::empty());
     }
     let n_act_f = n_act as f64;
     tempopr_kernel::pagerank::initialize(init, &ws.active, n_act_f, &mut ws.x)?;
+    if let Some(FaultKind::CorruptReciprocal) = cfg.fault {
+        tempopr_kernel::pagerank::corrupt_first_reciprocal(&ws.active_list, &mut ws.inv_deg);
+    }
+    obs.setup(n_act, t_setup);
 
     let alpha = cfg.alpha;
     let damp = 1.0 - alpha;
@@ -57,6 +81,19 @@ pub fn streaming_pagerank(
     let mut converged = false;
     while iterations < cfg.max_iters {
         iterations += 1;
+        match cfg.fault {
+            Some(FaultKind::InjectNan { at_iter }) if at_iter == iterations => {
+                let v = ws.active_list[0] as usize;
+                ws.x[v] = f64::NAN;
+            }
+            Some(FaultKind::PanicInKernel) if iterations == 1 => {
+                // Intentional: models a latent kernel bug for the driver's
+                // panic-isolation path.
+                panic!("fault injection: panic inside streaming kernel");
+            }
+            _ => {}
+        }
+        let t_iter = obs.now();
         let list = &ws.active_list;
         let x = &ws.x;
         let inv_deg = &ws.inv_deg;
@@ -79,10 +116,21 @@ pub fn streaming_pagerank(
             Some(s) => s.map_reduce_slice_mut(compact, 0.0f64, body, |a, b| a + b),
             None => body(0, compact),
         };
+        let t_mid = obs.now();
+        if !diff.is_finite() {
+            return Err(KernelError::Numeric {
+                iteration: iterations,
+                fault: NumericFault::NonFinite { lane: 0 },
+            });
+        }
         for (i, &v) in ws.active_list.iter().enumerate() {
             ws.x[v as usize] = ws.y[i];
         }
-        if diff < cfg.tol {
+        if obs.is_on() {
+            let mass: f64 = ws.y[..n_act].iter().sum();
+            obs.iteration(iterations, diff, mass, t_iter, t_mid);
+        }
+        if diff < cfg.tol && cfg.fault != Some(FaultKind::ForceNonConvergence) {
             converged = true;
             break;
         }

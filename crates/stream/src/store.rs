@@ -110,6 +110,17 @@ impl StreamingGraph {
         self.blocks.len()
     }
 
+    /// Heap bytes held by the store: vertex heads/degrees, the block
+    /// arena (tombstoned blocks still count — the arena never shrinks),
+    /// and the free list. Reported as the streaming model's resident
+    /// memory in the run report.
+    pub fn memory_bytes(&self) -> usize {
+        self.heads.len() * std::mem::size_of::<u32>()
+            + self.degrees.len() * std::mem::size_of::<u32>()
+            + self.blocks.len() * std::mem::size_of::<EdgeBlock>()
+            + self.free.len() * std::mem::size_of::<u32>()
+    }
+
     /// Inserts one event `(u, v, t)` symmetrically. Existing pairs gain
     /// multiplicity; new pairs gain an adjacency entry in both directions.
     pub fn insert_event(&mut self, u: u32, v: u32, t: i64) {

@@ -1,0 +1,214 @@
+//! The run report: a point-in-time snapshot of the registry and trace,
+//! exportable as JSON (machine) or a summary table (human).
+
+use crate::registry::{Histogram, Phase, PhaseTotal};
+use crate::trace::RunTrace;
+
+/// Snapshot of one run's telemetry: phase timings, metrics, and the trace.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-phase wall-time totals, in [`Phase::ALL`] order.
+    pub phases: Vec<(&'static str, PhaseTotal)>,
+    /// Counters in name order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauges in name order.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Histograms in name order.
+    pub histograms: Vec<(&'static str, Histogram)>,
+    /// The canonical-ordered event trace.
+    pub trace: RunTrace,
+}
+
+/// Formats an f64 for JSON: finite values print via Rust's shortest
+/// round-trip `Display`; non-finite values become strings (JSON has no
+/// NaN/Infinity literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Display of a finite f64 is a numeric token JSON parsers accept
+        // (shortest round-trip, no '+', no exponent-only forms).
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+impl RunReport {
+    /// Full JSON export, wall-clock fields included. Schema-stable:
+    /// top-level `schema`, `phases`, `counters`, `gauges`, `histograms`,
+    /// `trace` keys; see DESIGN.md §6 for the field-by-field contract.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + self.trace.len() * 128);
+        out.push_str("{\n  \"schema\": \"tempopr.metrics.v1\",\n  \"phases\": {");
+        for (i, (name, t)) in self.phases.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    \"{name}\": {{\"ns\": {}, \"calls\": {}}}",
+                t.ns, t.calls
+            ));
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{name}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{name}\": {}", json_f64(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!(
+                "    \"{name}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"bucket_counts\": [{}]}}",
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                counts.join(", ")
+            ));
+        }
+        out.push_str("\n  },\n  \"trace\": [");
+        for (i, e) in self.trace.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"window\": {}, \"attempt\": {}, \"iteration\": {}, \
+                 \"kind\": \"{}\", \"residual\": \"{:.12e}\", \"mass\": \"{:.12e}\", \
+                 \"wall_ns\": {}}}",
+                e.window,
+                e.attempt,
+                e.iteration,
+                e.kind.name(),
+                e.residual,
+                e.mass,
+                e.wall_ns
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Human-readable phase/counter summary table for the CLI tools.
+    pub fn summary_table(&self) -> String {
+        let total_ns: u64 = self.phases.iter().map(|(_, t)| t.ns).sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<18} {:>12} {:>8} {:>7}\n",
+            "phase", "time_ms", "calls", "share"
+        ));
+        for (name, t) in &self.phases {
+            let share = if total_ns == 0 {
+                0.0
+            } else {
+                100.0 * t.ns as f64 / total_ns as f64
+            };
+            out.push_str(&format!(
+                "  {:<18} {:>12.3} {:>8} {:>6.1}%\n",
+                name,
+                t.ns as f64 / 1e6,
+                t.calls,
+                share
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("  {:<18} {:>12}\n", "counter", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<18} {v:>12}\n"));
+            }
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("  {name:<18} {v:>12.0}\n"));
+        }
+        out
+    }
+
+    /// Total wall time accounted to phases, in nanoseconds.
+    pub fn phase_ns_total(&self) -> u64 {
+        self.phases.iter().map(|(_, t)| t.ns).sum()
+    }
+
+    /// Wall time of one phase, in nanoseconds.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == phase.name())
+            .map(|(_, t)| t.ns)
+            .unwrap_or(0)
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, TraceKind};
+    use crate::Telemetry;
+
+    #[test]
+    fn json_has_all_sections() {
+        let t = Telemetry::enabled();
+        t.add("windows.total", 3);
+        t.set_gauge("mem.bytes", 1024.0);
+        t.observe("iters", 12.0);
+        if let Some(r) = t.registry() {
+            r.add_phase_ns(Phase::Spmv, 1_000_000);
+        }
+        t.record(TraceEvent::marker(TraceKind::WindowOk, 0, 1, 12));
+        let report = t.report();
+        let js = report.to_json();
+        for key in [
+            "\"schema\": \"tempopr.metrics.v1\"",
+            "\"phases\"",
+            "\"spmv\"",
+            "\"counters\"",
+            "\"windows.total\": 3",
+            "\"gauges\"",
+            "\"mem.bytes\": 1024",
+            "\"histograms\"",
+            "\"bucket_counts\"",
+            "\"trace\"",
+            "\"window_ok\"",
+        ] {
+            assert!(js.contains(key), "missing {key} in {js}");
+        }
+        assert_eq!(report.counter("windows.total"), 3);
+        assert_eq!(report.gauge("mem.bytes"), Some(1024.0));
+        assert!(report.phase_ns(Phase::Spmv) >= 1_000_000);
+    }
+
+    #[test]
+    fn summary_table_lists_phases() {
+        let t = Telemetry::enabled();
+        if let Some(r) = t.registry() {
+            r.add_phase_ns(Phase::Build, 2_000_000);
+        }
+        let table = t.report().summary_table();
+        assert!(table.contains("build"));
+        assert!(table.contains("convergence_check"));
+    }
+
+    #[test]
+    fn non_finite_gauges_become_strings() {
+        let t = Telemetry::enabled();
+        t.set_gauge("bad", f64::NAN);
+        assert!(t.report().to_json().contains("\"bad\": \"NaN\""));
+    }
+}

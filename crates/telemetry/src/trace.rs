@@ -1,0 +1,261 @@
+//! The structured run trace: an ordered event log of per-window,
+//! per-attempt, per-iteration records.
+//!
+//! # Determinism contract
+//!
+//! Every field of a [`TraceEvent`] except `wall_ns` is a pure function of
+//! the input log, window spec, and configuration — two runs of the same
+//! deterministic workload must produce the same multiset of events.
+//! Events are *recorded* in wall-clock arrival order (which varies under
+//! parallel scheduling), so the canonical view sorts by
+//! `(window, attempt, iteration, kind)` and the deterministic JSON
+//! projection drops `wall_ns`. Residual/mass floats are themselves
+//! bit-deterministic (the kernels reduce in a fixed order) and are
+//! formatted with 12 fractional digits of scientific notation.
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A window's computation began (attempt 1 only).
+    WindowStart,
+    /// Per-window setup finished; `iteration` is 0.
+    Setup,
+    /// One power/push iteration: `residual` is the L1 step difference,
+    /// `mass` the post-iteration probability mass.
+    Iteration,
+    /// The numeric guard renormalized the iterate in place.
+    GuardRenormalize,
+    /// The numeric guard reset the iterate to uniform.
+    GuardRestart,
+    /// The recovery ladder launched a full-init retry (a new attempt).
+    RecoveryFullInitRetry,
+    /// The recovery ladder fell back to the dense Eq. 2 oracle.
+    RecoveryDenseOracle,
+    /// A streaming window cold-restarted after a failed predecessor.
+    RecoveryColdRestart,
+    /// Terminal: the window converged cleanly; `iteration` is the final
+    /// attempt's iteration count.
+    WindowOk,
+    /// Terminal: the window was recovered by the ladder.
+    WindowRecovered,
+    /// Terminal: every recovery rung failed.
+    WindowFailed,
+}
+
+impl TraceKind {
+    /// Stable snake-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::WindowStart => "window_start",
+            TraceKind::Setup => "setup",
+            TraceKind::Iteration => "iteration",
+            TraceKind::GuardRenormalize => "guard_renormalize",
+            TraceKind::GuardRestart => "guard_restart",
+            TraceKind::RecoveryFullInitRetry => "recovery_full_init_retry",
+            TraceKind::RecoveryDenseOracle => "recovery_dense_oracle",
+            TraceKind::RecoveryColdRestart => "recovery_cold_restart",
+            TraceKind::WindowOk => "window_ok",
+            TraceKind::WindowRecovered => "window_recovered",
+            TraceKind::WindowFailed => "window_failed",
+        }
+    }
+
+    /// Sort rank for events sharing `(window, attempt, iteration)`:
+    /// start/setup first, the iteration itself, then guard interventions
+    /// it triggered, then recovery escalations, then terminal statuses.
+    fn rank(self) -> u8 {
+        match self {
+            TraceKind::WindowStart => 0,
+            TraceKind::RecoveryColdRestart => 1,
+            TraceKind::Setup => 2,
+            TraceKind::Iteration => 3,
+            TraceKind::GuardRenormalize => 4,
+            TraceKind::GuardRestart => 5,
+            TraceKind::RecoveryFullInitRetry => 6,
+            TraceKind::RecoveryDenseOracle => 7,
+            TraceKind::WindowOk => 8,
+            TraceKind::WindowRecovered => 9,
+            TraceKind::WindowFailed => 10,
+        }
+    }
+}
+
+/// One record in the run trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Global window id.
+    pub window: u32,
+    /// Recovery attempt this event belongs to (1 = the configured run,
+    /// 2 = full-init retry, 3 = dense oracle).
+    pub attempt: u16,
+    /// Iteration number within the attempt (0 for setup/terminal events).
+    pub iteration: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// L1 step difference for `Iteration` events; 0 otherwise.
+    pub residual: f64,
+    /// Post-iteration probability mass for `Iteration` events; 0 otherwise.
+    pub mass: f64,
+    /// Wall-clock nanoseconds since the telemetry handle was created.
+    /// **Not** part of the deterministic projection.
+    pub wall_ns: u64,
+}
+
+impl TraceEvent {
+    /// An event with zeroed numeric payload (setup/terminal/guard kinds).
+    pub fn marker(kind: TraceKind, window: u32, attempt: u16, iteration: u32) -> Self {
+        TraceEvent {
+            window,
+            attempt,
+            iteration,
+            kind,
+            residual: 0.0,
+            mass: 0.0,
+            wall_ns: 0,
+        }
+    }
+
+    /// An `Iteration` event carrying the convergence measurements.
+    pub fn iteration(window: u32, attempt: u16, iteration: u32, residual: f64, mass: f64) -> Self {
+        TraceEvent {
+            window,
+            attempt,
+            iteration,
+            kind: TraceKind::Iteration,
+            residual,
+            mass,
+            wall_ns: 0,
+        }
+    }
+
+    fn sort_key(&self) -> (u32, u16, u32, u8) {
+        (self.window, self.attempt, self.iteration, self.kind.rank())
+    }
+}
+
+/// The ordered event log of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Events in canonical `(window, attempt, iteration, kind)` order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RunTrace {
+    /// Builds a trace from events in arbitrary (arrival) order.
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(TraceEvent::sort_key);
+        RunTrace { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The deterministic projection: a JSON document of the sorted events
+    /// with every wall-clock field removed. Byte-identical across repeated
+    /// runs of the same deterministic workload — this is what the golden
+    /// trace test snapshots.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\n  \"schema\": \"tempopr.trace.v1\",\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"window\": {}, \"attempt\": {}, \"iteration\": {}, \
+                 \"kind\": \"{}\", \"residual\": \"{:.12e}\", \"mass\": \"{:.12e}\"}}",
+                e.window,
+                e.attempt,
+                e.iteration,
+                e.kind.name(),
+                e.residual,
+                e.mass
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// CSV export of the sorted events, wall-clock column included (it is
+    /// the *last* column so deterministic diffs can cut it off).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("window,attempt,iteration,kind,residual,mass,wall_ns\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{:.12e},{:.12e},{}\n",
+                e.window,
+                e.attempt,
+                e.iteration,
+                e.kind.name(),
+                e.residual,
+                e.mass,
+                e.wall_ns
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(w: u32, a: u16, i: u32, kind: TraceKind) -> TraceEvent {
+        TraceEvent::marker(kind, w, a, i)
+    }
+
+    #[test]
+    fn canonical_order_is_window_attempt_iteration_kind() {
+        let shuffled = vec![
+            ev(1, 1, 0, TraceKind::WindowOk),
+            ev(0, 2, 1, TraceKind::Iteration),
+            ev(0, 1, 1, TraceKind::GuardRestart),
+            ev(0, 1, 1, TraceKind::Iteration),
+            ev(0, 1, 0, TraceKind::WindowStart),
+        ];
+        let t = RunTrace::from_events(shuffled);
+        let kinds: Vec<_> = t.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::WindowStart,
+                TraceKind::Iteration,
+                TraceKind::GuardRestart,
+                TraceKind::Iteration,
+                TraceKind::WindowOk,
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_json_excludes_wall_time() {
+        let mut e = TraceEvent::iteration(0, 1, 1, 1e-3, 1.0);
+        e.wall_ns = 123_456;
+        let a = RunTrace::from_events(vec![e]).deterministic_json();
+        e.wall_ns = 999;
+        let b = RunTrace::from_events(vec![e]).deterministic_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"residual\": \"1.000000000000e-3\""));
+        assert!(!a.contains("wall"));
+    }
+
+    #[test]
+    fn csv_has_wall_ns_last() {
+        let mut e = TraceEvent::iteration(2, 1, 3, 0.5, 1.0);
+        e.wall_ns = 7;
+        let csv = RunTrace::from_events(vec![e]).to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("window,attempt,iteration,kind,residual,mass,wall_ns")
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("2,1,3,iteration,"));
+        assert!(row.ends_with(",7"));
+    }
+}

@@ -1,9 +1,9 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no registry access, so the workspace vendors
-//! the slice of proptest's API its test suites use: the [`Strategy`]
+//! the slice of proptest's API its test suites use: the [`strategy::Strategy`]
 //! trait (integer ranges, tuples, `prop_map`, `collection::vec`,
-//! `sample::select`, `any::<bool>()`, [`Just`]), the [`proptest!`] macro
+//! `sample::select`, `any::<bool>()`, [`strategy::Just`]), the [`proptest!`] macro
 //! with `#![proptest_config(...)]` support, and `prop_assert*` macros.
 //!
 //! Differences from upstream that the workspace does not rely on:

@@ -17,7 +17,9 @@
 //!   PageRank;
 //! - [`datagen`]: synthetic stand-ins for the paper's seven datasets;
 //! - [`analytics`]: the other postmortem kernels the paper names
-//!   (connected components, k-core, degree distributions, triangles).
+//!   (connected components, k-core, degree distributions, triangles);
+//! - [`telemetry`]: run-level observability — phase timers, counters,
+//!   and deterministic convergence traces.
 //!
 //! ## Quick start
 //!
@@ -51,6 +53,7 @@ pub use tempopr_datagen as datagen;
 pub use tempopr_graph as graph;
 pub use tempopr_kernel as kernel;
 pub use tempopr_stream as stream;
+pub use tempopr_telemetry as telemetry;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -66,4 +69,5 @@ pub mod prelude {
         FaultKind, GuardConfig, Init, NumericPolicy, Partitioner, PrConfig, Scheduler,
     };
     pub use tempopr_stream::{run_streaming, IncrementalMode, StreamingConfig};
+    pub use tempopr_telemetry::{RunReport, Telemetry};
 }

@@ -35,7 +35,10 @@ fn all_kernels(t: &TemporalCsr, range: TimeRange) -> Vec<f64> {
             (spmv[v] - bws.pr.x[v]).abs() < 1e-9,
             "blocking disagrees at vertex {v}"
         );
-        assert!((spmv[v] - lane[v]).abs() < 1e-9, "spmm disagrees at vertex {v}");
+        assert!(
+            (spmv[v] - lane[v]).abs() < 1e-9,
+            "spmm disagrees at vertex {v}"
+        );
     }
     spmv
 }
@@ -55,7 +58,9 @@ fn assert_is_distribution(x: &[f64], expect_active: bool) {
 
 #[test]
 fn window_with_no_events_is_all_zero() {
-    let events: Vec<Event> = (0..20).map(|i| Event::new(i % 5, (i + 1) % 5, 100)).collect();
+    let events: Vec<Event> = (0..20)
+        .map(|i| Event::new(i % 5, (i + 1) % 5, 100))
+        .collect();
     let t = TemporalCsr::from_events(5, &events, true);
     let x = all_kernels(&t, TimeRange::new(0, 50));
     assert_is_distribution(&x, false);
@@ -121,7 +126,9 @@ fn regular_graph_converges_at_iteration_one() {
 fn zero_iteration_budget_returns_the_init() {
     // max_iters = 0 is a legal "just set up the window" request: no
     // iteration runs, nothing converges, nothing panics.
-    let events: Vec<Event> = (0..12).map(|i| Event::new(i % 4, (i + 1) % 4, 10)).collect();
+    let events: Vec<Event> = (0..12)
+        .map(|i| Event::new(i % 4, (i + 1) % 4, 10))
+        .collect();
     let t = TemporalCsr::from_events(4, &events, true);
     let zero = PrConfig {
         max_iters: 0,
@@ -138,7 +145,9 @@ fn zero_iteration_budget_returns_the_init() {
 fn engine_handles_spec_with_every_window_empty() {
     // The engine-level analogue: a window spec that misses the data
     // entirely must produce a complete, non-degraded run of empty windows.
-    let events: Vec<Event> = (0..30).map(|i| Event::new(i % 6, (i + 1) % 6, 1000)).collect();
+    let events: Vec<Event> = (0..30)
+        .map(|i| Event::new(i % 6, (i + 1) % 6, 1000))
+        .collect();
     let log = EventLog::from_unsorted(events, 6).unwrap();
     let spec = WindowSpec::new(0, 10, 20, 5).unwrap();
     let out = PostmortemEngine::new(&log, spec, PostmortemConfig::default())

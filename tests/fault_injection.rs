@@ -84,7 +84,11 @@ fn assert_clean_windows_match(clean: &RunOutput, faulty: &RunOutput, faulted: us
 fn nan_injection_recovers_via_guard_restart() {
     let log = skewed_log();
     let spec = spec_for(&log);
-    let clean = run(&log, spec, base_cfg(KernelKind::SpMV, ParallelMode::Sequential));
+    let clean = run(
+        &log,
+        spec,
+        base_cfg(KernelKind::SpMV, ParallelMode::Sequential),
+    );
     let mut cfg = base_cfg(KernelKind::SpMV, ParallelMode::Sequential);
     // Iteration 1 always runs, even for warm-started windows that converge
     // immediately; a later target could silently miss the window.
@@ -122,7 +126,10 @@ fn forced_nonconvergence_escalates_to_dense_oracle() {
         cfg.faults = FaultPlan::single(2, FaultKind::ForceNonConvergence);
         let out = run(&log, spec, cfg);
 
-        assert!(!out.degraded, "{kernel:?}: oracle recovery must not degrade");
+        assert!(
+            !out.degraded,
+            "{kernel:?}: oracle recovery must not degrade"
+        );
         let w = &out.windows[2];
         // The fault persists across the full-init retry, so the ladder must
         // walk all the way down to the exact Eq. 2 solve.
@@ -149,7 +156,11 @@ fn forced_nonconvergence_escalates_to_dense_oracle() {
 fn corrupt_reciprocal_is_detected_and_recovered() {
     let log = skewed_log();
     let spec = spec_for(&log);
-    let clean = run(&log, spec, base_cfg(KernelKind::SpMV, ParallelMode::Sequential));
+    let clean = run(
+        &log,
+        spec,
+        base_cfg(KernelKind::SpMV, ParallelMode::Sequential),
+    );
     let mut cfg = base_cfg(KernelKind::SpMV, ParallelMode::Sequential);
     cfg.faults = FaultPlan::single(1, FaultKind::CorruptReciprocal);
     let out = run(&log, spec, cfg);

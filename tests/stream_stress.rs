@@ -7,7 +7,13 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use tempopr::stream::StreamingGraph;
+use tempopr::core::{FaultPlan, RetainMode, WindowFault, WindowStatus};
+use tempopr::graph::{Event, EventLog, WindowSpec};
+use tempopr::kernel::FaultKind;
+use tempopr::stream::{
+    run_streaming, run_streaming_traced, IncrementalMode, StreamingConfig, StreamingGraph,
+};
+use tempopr::telemetry::Telemetry;
 
 fn canon(u: u32, v: u32) -> (u32, u32) {
     (u.min(v), u.max(v))
@@ -83,6 +89,109 @@ fn long_skewed_insert_delete_stress() {
         g.allocated_blocks() <= blocks_before.max(1_000),
         "arena should reuse freed blocks"
     );
+}
+
+/// Hub-skewed temporal log long enough for a dozen windows: every window
+/// is far from uniform, so warm restarts matter and faults actually fire.
+fn skewed_replay_log() -> EventLog {
+    let mut events = Vec::new();
+    for i in 0..2_000u32 {
+        let (u, v) = if i % 3 != 0 {
+            (0, 1 + i % 37)
+        } else {
+            (1 + (i * 7) % 37, 1 + (i * 13) % 37)
+        };
+        if u != v {
+            events.push(Event::new(u, v, i as i64));
+        }
+    }
+    EventLog::from_unsorted(events, 38).unwrap()
+}
+
+/// Drives the streaming replay through several faulted windows (a NaN
+/// injection, a kernel panic, and a corrupted reciprocal) under warm
+/// restarts: every faulted window must fail in isolation, every successor
+/// must cold-restart to a valid fixed point agreeing with the fault-free
+/// run to convergence tolerance, and the telemetry books must balance.
+#[test]
+fn multi_fault_replay_recovers_each_time() {
+    let log = skewed_replay_log();
+    let spec = WindowSpec::covering(&log, 400, 150).unwrap();
+    assert!(spec.count >= 8, "want a long replay, got {}", spec.count);
+    let base = StreamingConfig {
+        incremental: IncrementalMode::WarmRestart,
+        retain: RetainMode::Full,
+        ..Default::default()
+    };
+    let clean = run_streaming(&log, spec, &base).unwrap();
+    assert!(!clean.degraded);
+
+    let faulted = [2usize, 5, 7];
+    let cfg = StreamingConfig {
+        faults: FaultPlan {
+            faults: vec![
+                WindowFault {
+                    window: faulted[0],
+                    fault: FaultKind::InjectNan { at_iter: 1 },
+                },
+                WindowFault {
+                    window: faulted[1],
+                    fault: FaultKind::PanicInKernel,
+                },
+                WindowFault {
+                    window: faulted[2],
+                    fault: FaultKind::CorruptReciprocal,
+                },
+            ],
+        },
+        ..base
+    };
+    let tele = Telemetry::enabled();
+    let out = run_streaming_traced(&log, spec, &cfg, &tele).unwrap();
+    assert!(out.degraded);
+    assert_eq!(out.failed_windows(), faulted.to_vec());
+
+    for (x, y) in clean.windows.iter().zip(&out.windows) {
+        if faulted.contains(&x.window) {
+            assert!(matches!(y.status, WindowStatus::Failed { .. }));
+            continue;
+        }
+        assert_eq!(x.status, y.status, "window {}", x.window);
+        // Warm-started (clean) and cold-restarted (faulty) iterates reach
+        // the same fixed point only to convergence tolerance, not bitwise.
+        let dist = x
+            .ranks
+            .as_ref()
+            .unwrap()
+            .linf_distance(y.ranks.as_ref().unwrap());
+        assert!(dist <= 1e-6, "window {}: linf {dist:.3e}", x.window);
+    }
+
+    let report = tele.report();
+    assert_eq!(report.counter("windows.failed"), faulted.len() as u64);
+    assert_eq!(
+        report.counter("windows.ok"),
+        (spec.count - faulted.len()) as u64
+    );
+    // Each failure breaks the warm-start chain exactly once, and each
+    // faulted window has a successor here.
+    assert_eq!(
+        report.counter("recovery.cold_restart"),
+        faulted.len() as u64
+    );
+    assert_eq!(report.gauge("run.degraded"), Some(1.0));
+    assert!(report.gauge("memory.stream_bytes").unwrap() > 0.0);
+    // The faulted windows' partial iteration traces survive alongside the
+    // terminal markers — the failure is diagnosable postmortem.
+    let json = tele.trace().deterministic_json();
+    for w in faulted {
+        assert!(
+            json.lines()
+                .any(|l| l.contains(&format!("\"window\": {w},"))
+                    && l.contains("\"kind\": \"window_failed\"")),
+            "window {w} missing terminal failed marker"
+        );
+    }
 }
 
 #[test]
