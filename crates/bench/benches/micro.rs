@@ -126,6 +126,19 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Same construction, but recycling the previous window's row/col
+    // buffers (the offline driver's finalize-stage workspace reuse): the
+    // delta vs `csr_rebuild_per_window` is the pure allocation cost the
+    // exec-layer source recycles away in steady state.
+    g.bench_function("csr_rebuild_per_window_reused", |b| {
+        let events = log.slice_by_time(window.start, window.end);
+        let mut csr = Csr::from_events(log.num_vertices(), events, true);
+        b.iter(|| {
+            csr.rebuild_from_events(log.num_vertices(), events, true);
+            std::hint::black_box(csr.num_edges())
+        })
+    });
+
     g.bench_function("streaming_insert_delete_cycle", |b| {
         b.iter(|| {
             let mut sg = StreamingGraph::new(log.num_vertices());

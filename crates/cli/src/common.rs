@@ -41,6 +41,9 @@ pub struct Opts {
     /// Write run telemetry (`tempopr.metrics.v1` JSON) to this path;
     /// experiments that support it also print a phase-breakdown summary.
     pub metrics_out: Option<String>,
+    /// Overlap the next part's window-index build with the current
+    /// window's kernel in the postmortem runs (in-order walks only).
+    pub pipeline: bool,
 }
 
 impl Default for Opts {
@@ -51,6 +54,7 @@ impl Default for Opts {
             threads: 0,
             max_windows: 0,
             metrics_out: None,
+            pipeline: false,
         }
     }
 }
@@ -151,6 +155,7 @@ pub fn time_postmortem_traced(
     cfg.retain = RetainMode::Summary;
     cfg.threads = opts.threads;
     cfg.pr = pr_config();
+    cfg.pipeline = cfg.pipeline || opts.pipeline;
     let (out, d) = time(|| {
         let engine = PostmortemEngine::with_telemetry(log, spec, cfg, tele)
             .unwrap_or_else(|e| fail(format!("engine build: {e}")));

@@ -178,6 +178,10 @@ fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), Str
                 extra.lenient = true;
                 i += 1;
             }
+            "--pipeline" => {
+                opts.pipeline = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -206,7 +210,9 @@ fn print_help() {
          --max-windows  cap windows per configuration (default: uncapped)\n\
          --dataset    restrict fig4/fig11 to one dataset\n\
          --metrics-out  write run telemetry JSON (fig5 also prints a \
-         phase breakdown)"
+         phase breakdown)\n\
+         --pipeline   overlap the next part's window-index build with the \
+         current window's kernel (postmortem runs)"
     );
 }
 
@@ -227,6 +233,7 @@ mod tests {
         assert_eq!(opts.threads, 0);
         assert_eq!(opts.max_windows, 0);
         assert!(opts.metrics_out.is_none());
+        assert!(!opts.pipeline);
         assert!(dataset.is_none());
         assert_eq!(extra.delta_days, 90);
         assert_eq!(extra.sw_days, 30);
@@ -238,6 +245,12 @@ mod tests {
     fn lenient_flag_parses() {
         let (_, _, extra) = flags(&["--lenient"]).unwrap();
         assert!(extra.lenient);
+    }
+
+    #[test]
+    fn pipeline_flag_parses() {
+        let (opts, _, _) = flags(&["--pipeline"]).unwrap();
+        assert!(opts.pipeline);
     }
 
     #[test]

@@ -132,6 +132,12 @@ pub struct PostmortemConfig {
     /// default; when empty, the run takes exactly the fault-free code
     /// paths and ranks are unchanged bit for bit.
     pub faults: FaultPlan,
+    /// Overlap the next multi-window part's window-index construction with
+    /// the current window's kernel (in-order SpMV/push walks only; needs
+    /// `use_window_index`). Ranks and deterministic traces are unchanged —
+    /// the prefetch only moves wall-clock setup work off the critical
+    /// path. Off by default.
+    pub pipeline: bool,
 }
 
 impl Default for PostmortemConfig {
@@ -149,6 +155,7 @@ impl Default for PostmortemConfig {
             threads: 0,
             retain: RetainMode::Full,
             faults: FaultPlan::default(),
+            pipeline: false,
         }
     }
 }

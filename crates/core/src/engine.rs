@@ -21,35 +21,36 @@
 //!   vertex numberings differ between parts.
 //!
 //! ## Failure semantics
-//! Every window runs to a terminal [`WindowStatus`]. A kernel that errors
-//! or fails to converge escalates through the recovery ladder — full-init
-//! retry for warm-started windows, then the dense Eq. 2 oracle for small
-//! windows — and a kernel that *panics* is caught ([`std::panic::catch_unwind`])
-//! and isolated: the poisoned window reports `Failed` with a diagnostic,
-//! its workspace is discarded, and every other window completes normally.
-//! The run output carries a `degraded` flag; no failure is silent and no
-//! failure aborts the run.
+//! Every window runs to a terminal [`WindowStatus`]; the ladder itself
+//! lives in the shared execution layer ([`crate::exec`]) under the full
+//! [`RecoveryPolicy::ladder`](crate::exec::RecoveryPolicy::ladder). A
+//! kernel that errors or fails to converge escalates through the recovery
+//! ladder — full-init retry for warm-started windows, then the dense Eq. 2
+//! oracle for small windows — and a kernel that *panics* is caught and
+//! isolated by [`crate::exec::isolate`]: the poisoned window reports
+//! `Failed` with a diagnostic, its workspace is discarded, and every other
+//! window completes normally. The run output carries a `degraded` flag; no
+//! failure is silent and no failure aborts the run.
 
-use crate::config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
+use crate::config::{KernelKind, ParallelMode, PostmortemConfig};
 use crate::error::EngineError;
-use crate::observe::TelemetryKernelBridge;
-use crate::result::{hash01, RecoveryKind, RunOutput, SparseRanks, WindowOutput, WindowStatus};
-use std::cell::Cell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use tempopr_graph::{
-    EventLog, MultiWindowGraph, MultiWindowSet, TemporalCsr, TimeRange, WindowSpec,
+use crate::exec::{
+    classify_converged, isolate, oracle_for, run_windows, Prefetcher, RecoveryPolicy,
+    WindowExecutor, WindowSource,
 };
+use crate::observe::TelemetryKernelBridge;
+use crate::result::{RunOutput, WindowOutput, WindowStatus};
+use std::cell::Cell;
+use tempopr_graph::{EventLog, MultiWindowGraph, MultiWindowSet, WindowSpec};
 use tempopr_kernel::{
     pagerank_batch_indexed_obs, pagerank_batch_obs, pagerank_window_blocking_indexed_obs,
-    pagerank_window_blocking_obs, pagerank_window_indexed_obs, pagerank_window_obs,
-    solve_pagerank_exact, thread_pool, BatchObs, BlockingWorkspace, Init, KernelError,
-    NumericPolicy, Obs, PrConfig, PrHealth, PrStats, PrWorkspace, Scheduler, SpmmWorkspace,
+    pagerank_window_blocking_obs, pagerank_window_indexed_obs, pagerank_window_obs, thread_pool,
+    BatchObs, BlockingWorkspace, Init, Obs, PrConfig, PrStats, PrWorkspace, Scheduler,
+    SpmmWorkspace,
 };
-use tempopr_telemetry::{Phase as RunPhase, Telemetry, TraceEvent, TraceKind};
+use tempopr_telemetry::{Phase as RunPhase, Telemetry};
 
-/// Largest active set the dense Eq. 2 oracle accepts as a recovery
-/// fallback — the solve is `O(n³)`, so it only rescues small windows.
-pub const MAX_ORACLE_ACTIVE: usize = 512;
+pub use crate::exec::MAX_ORACLE_ACTIVE;
 
 /// A ready-to-run postmortem analysis: the multi-window representation plus
 /// the execution configuration.
@@ -161,139 +162,16 @@ impl PostmortemEngine {
         }
     }
 
-    // --- Recovery ladder --------------------------------------------------
+    // --- Execution-layer adapters -----------------------------------------
 
-    /// Drives one window's kernel attempts to a terminal status.
-    ///
-    /// `kernel(false)` runs as configured, `kernel(true)` forces uniform
-    /// initialization; `oracle()` solves the window exactly (or `None`
-    /// when it is too large). Returns the stats, the terminal status,
-    /// `Some(ranks)` when the final ranks did *not* come from the kernel
-    /// workspace (oracle recovery, or zeros for a failed window), and the
-    /// highest recovery rung reached (1..=3).
-    ///
-    /// Ladder: converged → done (status from the kernel's health record);
-    /// error / non-convergence → full-init retry (warm starts only) →
-    /// dense oracle → `Failed`. A caught panic fails immediately — the
-    /// workspace is not trustworthy afterwards, so the caller must discard
-    /// it whenever the returned status is `Failed`. Under
-    /// [`NumericPolicy::Fail`] no recovery is attempted at all.
-    fn recover_window<F, O>(
-        &self,
-        window: u32,
-        was_partial: bool,
-        n_local: usize,
-        mut kernel: F,
-        oracle: O,
-    ) -> (PrStats, WindowStatus, Option<Vec<f64>>, u16)
-    where
-        F: FnMut(bool) -> Result<PrStats, KernelError>,
-        O: FnOnce() -> Option<Result<Vec<f64>, KernelError>>,
-    {
-        let max_iters = self.cfg.pr.max_iters;
-        let fail_fast = self.cfg.pr.guard.policy == NumericPolicy::Fail;
-        let settle = |stats: PrStats, via: Option<RecoveryKind>, attempts: u16| {
-            let status = match via {
-                Some(v) => WindowStatus::Recovered { via: v },
-                None if stats.health.is_clean() => WindowStatus::Ok,
-                None => WindowStatus::Recovered {
-                    via: RecoveryKind::GuardIntervention,
-                },
-            };
-            (stats, status, None, attempts)
-        };
-        // Attempt 1: as configured.
-        let mut diagnostic = match catch_unwind(AssertUnwindSafe(|| kernel(false))) {
-            Ok(Ok(stats)) if stats.converged || max_iters == 0 => return settle(stats, None, 1),
-            Ok(Ok(_)) => format!("did not converge within {max_iters} iterations"),
-            Ok(Err(e)) => e.to_string(),
-            Err(p) => {
-                return (
-                    PrStats::empty(),
-                    WindowStatus::Failed {
-                        diagnostic: format!("kernel panicked: {}", panic_message(&p)),
-                    },
-                    Some(vec![0.0; n_local]),
-                    1,
-                );
-            }
-        };
-        let mut attempts: u16 = 1;
-        if !fail_fast {
-            // Rungs 2-3 are attributed to the recovery phase; the kernel's
-            // own SpMV/check timers keep running inside the span, so phase
-            // totals overlap by design (see DESIGN.md §6).
-            let _recovery = self.tele.phase(RunPhase::Recovery);
-            // Attempt 2: recompute from full initialization (warm starts
-            // only — a cold start already was fully initialized).
-            if was_partial {
-                self.tele.add("recovery.full_init_retry", 1);
-                self.tele.record(TraceEvent::marker(
-                    TraceKind::RecoveryFullInitRetry,
-                    window,
-                    2,
-                    0,
-                ));
-                match catch_unwind(AssertUnwindSafe(|| kernel(true))) {
-                    Ok(Ok(stats)) if stats.converged => {
-                        return settle(stats, Some(RecoveryKind::FullInitRetry), 2);
-                    }
-                    Ok(Ok(_)) => {
-                        diagnostic = format!("{diagnostic}; full-init retry did not converge");
-                    }
-                    Ok(Err(e)) => diagnostic = format!("{diagnostic}; full-init retry: {e}"),
-                    Err(p) => {
-                        return (
-                            PrStats::empty(),
-                            WindowStatus::Failed {
-                                diagnostic: format!(
-                                    "{diagnostic}; full-init retry panicked: {}",
-                                    panic_message(&p)
-                                ),
-                            },
-                            Some(vec![0.0; n_local]),
-                            2,
-                        );
-                    }
-                }
-            }
-            // Attempt 3: the dense Eq. 2 oracle, immune to iteration-level
-            // faults (it recomputes degrees and does not iterate).
-            attempts = 3;
-            self.tele.add("recovery.dense_oracle", 1);
-            self.tele.record(TraceEvent::marker(
-                TraceKind::RecoveryDenseOracle,
-                window,
-                3,
-                0,
-            ));
-            match oracle() {
-                Some(Ok(x)) => {
-                    let active = x.iter().filter(|&&v| v > 0.0).count();
-                    let stats = PrStats {
-                        iterations: 0,
-                        converged: true,
-                        active_vertices: active,
-                        health: PrHealth::default(),
-                    };
-                    return (
-                        stats,
-                        WindowStatus::Recovered {
-                            via: RecoveryKind::DenseOracle,
-                        },
-                        Some(x),
-                        3,
-                    );
-                }
-                Some(Err(e)) => diagnostic = format!("{diagnostic}; dense oracle: {e}"),
-                None => diagnostic = format!("{diagnostic}; window too large for the dense oracle"),
-            }
-        }
-        (
-            PrStats::empty(),
-            WindowStatus::Failed { diagnostic },
-            Some(vec![0.0; n_local]),
-            attempts,
+    /// The engine's [`WindowExecutor`]: the full recovery ladder (this is
+    /// the postmortem driver) recording into the run's telemetry sink.
+    fn executor(&self) -> WindowExecutor<'_> {
+        WindowExecutor::new(
+            &self.tele,
+            &self.cfg.pr,
+            RecoveryPolicy::ladder(),
+            self.cfg.retain,
         )
     }
 
@@ -340,8 +218,9 @@ impl PostmortemEngine {
                     pagerank_window_obs(pull, push, range, init, &prcfg, inner, ws, obs)
                 }
             };
-            let oracle = || oracle_for(pull, push, range, &self.cfg.pr);
-            self.recover_window(w as u32, warm, n_local, kernel, oracle)
+            let oracle = || oracle_for(pull, push, range, &self.cfg.pr, MAX_ORACLE_ACTIVE);
+            self.executor()
+                .drive(w as u32, warm, n_local, kernel, oracle)
         };
         if !status.is_valid() {
             // A panic may have left the workspace inconsistent.
@@ -359,19 +238,31 @@ impl PostmortemEngine {
     fn run_spmv(&self) -> Vec<WindowOutput> {
         let count = self.spec().count;
         let sched = &self.cfg.scheduler;
+        let pf = self.prefetcher();
+        let pf = pf.as_ref().map(|p| p as &dyn Prefetcher);
         match self.cfg.mode {
-            ParallelMode::Sequential => self.spmv_chunk(0..count, None),
-            ParallelMode::ApplicationLevel => self.spmv_chunk(0..count, Some(sched)),
-            ParallelMode::WindowLevel => {
-                sched.map_reduce_range(count, Vec::new(), |r| self.spmv_chunk(r, None), concat)
-            }
+            ParallelMode::Sequential => self.spmv_chunk(0..count, None, pf),
+            ParallelMode::ApplicationLevel => self.spmv_chunk(0..count, Some(sched), pf),
+            ParallelMode::WindowLevel => sched.map_reduce_range(
+                count,
+                Vec::new(),
+                |r| self.spmv_chunk(r, None, None),
+                concat,
+            ),
             ParallelMode::Nested => sched.map_reduce_range(
                 count,
                 Vec::new(),
-                |r| self.spmv_chunk(r, Some(sched)),
+                |r| self.spmv_chunk(r, Some(sched), None),
                 concat,
             ),
         }
+    }
+
+    /// The window-index prefetcher, when the in-order walks should overlap
+    /// the next part's index construction with the current kernel.
+    fn prefetcher(&self) -> Option<PartIndexPrefetcher<'_>> {
+        (self.cfg.pipeline && self.cfg.use_window_index && self.set.num_parts() > 1)
+            .then_some(PartIndexPrefetcher { engine: self })
     }
 
     /// Processes a contiguous run of windows in order on the current
@@ -381,29 +272,35 @@ impl PostmortemEngine {
         &self,
         windows: std::ops::Range<usize>,
         inner: Option<&Scheduler>,
+        prefetcher: Option<&dyn Prefetcher>,
     ) -> Vec<WindowOutput> {
-        let mut out = Vec::with_capacity(windows.len());
         let mut ws = PrWorkspace::default();
         let mut prev: Vec<f64> = Vec::new();
         let mut prev_part: Option<usize> = None;
-        for w in windows {
-            let part_idx = self.part_index_of(w);
-            let part = &self.set.graphs()[part_idx];
-            let warm = self.cfg.partial_init && prev_part == Some(part_idx);
-            let (stats, status, ranks, attempts) =
-                self.single_window(part, w, warm.then_some(prev.as_slice()), inner, &mut ws);
-            let valid = status.is_valid();
-            out.push(self.make_output(w, part, stats, &ranks, status, attempts));
-            // Keep this window's ranks as the next window's previous
-            // vector; after a failed window the next one starts cold.
-            if valid {
-                prev = ranks;
-                prev_part = Some(part_idx);
-            } else {
-                prev_part = None;
-            }
-        }
-        out
+        let mut source = PartSource { engine: self };
+        run_windows(
+            &mut source,
+            windows,
+            prefetcher,
+            &self.tele,
+            |_, w, &part_idx| {
+                let part = &self.set.graphs()[part_idx];
+                let warm = self.cfg.partial_init && prev_part == Some(part_idx);
+                let (stats, status, ranks, attempts) =
+                    self.single_window(part, w, warm.then_some(prev.as_slice()), inner, &mut ws);
+                let valid = status.is_valid();
+                let output = self.make_output(w, part, stats, &ranks, status, attempts);
+                // Keep this window's ranks as the next window's previous
+                // vector; after a failed window the next one starts cold.
+                if valid {
+                    prev = ranks;
+                    prev_part = Some(part_idx);
+                } else {
+                    prev_part = None;
+                }
+                output
+            },
+        )
     }
 
     /// Propagation-blocking path: same window walk as SpMV, sequential
@@ -411,79 +308,91 @@ impl PostmortemEngine {
     fn run_blocking(&self) -> Vec<WindowOutput> {
         let count = self.spec().count;
         let sched = &self.cfg.scheduler;
+        let pf = self.prefetcher();
+        let pf = pf.as_ref().map(|p| p as &dyn Prefetcher);
         match self.cfg.mode {
             ParallelMode::Sequential | ParallelMode::ApplicationLevel => {
-                self.blocking_chunk(0..count)
+                self.blocking_chunk(0..count, pf)
             }
             ParallelMode::WindowLevel | ParallelMode::Nested => {
-                sched.map_reduce_range(count, Vec::new(), |r| self.blocking_chunk(r), concat)
+                sched.map_reduce_range(count, Vec::new(), |r| self.blocking_chunk(r, None), concat)
             }
         }
     }
 
-    fn blocking_chunk(&self, windows: std::ops::Range<usize>) -> Vec<WindowOutput> {
-        let mut out = Vec::with_capacity(windows.len());
+    fn blocking_chunk(
+        &self,
+        windows: std::ops::Range<usize>,
+        prefetcher: Option<&dyn Prefetcher>,
+    ) -> Vec<WindowOutput> {
         let mut ws = BlockingWorkspace::default();
         let mut prev: Vec<f64> = Vec::new();
         let mut prev_part: Option<usize> = None;
-        for w in windows {
-            let part_idx = self.part_index_of(w);
-            let part = &self.set.graphs()[part_idx];
-            let range = self.spec().window(w);
-            let warm = self.cfg.partial_init && prev_part == Some(part_idx);
-            let (pull, push) = (part.pull_tcsr(), part.tcsr());
-            let prcfg = PrConfig {
-                fault: self.cfg.faults.fault_for(w),
-                ..self.cfg.pr
-            };
-            let n_local = pull.num_vertices();
-            let attempt_no = Cell::new(0u16);
-            let (stats, status, override_ranks, attempts) = {
-                let ws = &mut ws;
-                let prev_ref = &prev;
-                let attempt_no = &attempt_no;
-                let kernel = move |uniform: bool| {
-                    let init = if warm && !uniform {
-                        Init::Partial(prev_ref)
-                    } else {
-                        Init::Uniform
-                    };
-                    attempt_no.set(attempt_no.get() + 1);
-                    let bridge = TelemetryKernelBridge::new(&self.tele, attempt_no.get());
-                    let obs = if self.tele.is_enabled() {
-                        Obs::new(&bridge, w as u32)
-                    } else {
-                        Obs::off()
-                    };
-                    if self.cfg.use_window_index {
-                        let view = part.index_view(w);
-                        pagerank_window_blocking_indexed_obs(
-                            pull, push, &view, init, &prcfg, ws, obs,
-                        )
-                    } else {
-                        pagerank_window_blocking_obs(pull, push, range, init, &prcfg, ws, obs)
-                    }
+        let mut source = PartSource { engine: self };
+        run_windows(
+            &mut source,
+            windows,
+            prefetcher,
+            &self.tele,
+            |_, w, &part_idx| {
+                let part = &self.set.graphs()[part_idx];
+                let range = self.spec().window(w);
+                let warm = self.cfg.partial_init && prev_part == Some(part_idx);
+                let (pull, push) = (part.pull_tcsr(), part.tcsr());
+                let prcfg = PrConfig {
+                    fault: self.cfg.faults.fault_for(w),
+                    ..self.cfg.pr
                 };
-                let oracle = || oracle_for(pull, push, range, &self.cfg.pr);
-                self.recover_window(w as u32, warm, n_local, kernel, oracle)
-            };
-            if !status.is_valid() {
-                ws = BlockingWorkspace::default();
-            }
-            let valid = status.is_valid();
-            let ranks: Vec<f64> = match override_ranks {
-                Some(x) => x,
-                None => ws.pr.x.clone(),
-            };
-            out.push(self.make_output(w, part, stats, &ranks, status, attempts));
-            if valid {
-                prev = ranks;
-                prev_part = Some(part_idx);
-            } else {
-                prev_part = None;
-            }
-        }
-        out
+                let n_local = pull.num_vertices();
+                let attempt_no = Cell::new(0u16);
+                let (stats, status, override_ranks, attempts) = {
+                    let ws = &mut ws;
+                    let prev_ref = &prev;
+                    let attempt_no = &attempt_no;
+                    let kernel = move |uniform: bool| {
+                        let init = if warm && !uniform {
+                            Init::Partial(prev_ref)
+                        } else {
+                            Init::Uniform
+                        };
+                        attempt_no.set(attempt_no.get() + 1);
+                        let bridge = TelemetryKernelBridge::new(&self.tele, attempt_no.get());
+                        let obs = if self.tele.is_enabled() {
+                            Obs::new(&bridge, w as u32)
+                        } else {
+                            Obs::off()
+                        };
+                        if self.cfg.use_window_index {
+                            let view = part.index_view(w);
+                            pagerank_window_blocking_indexed_obs(
+                                pull, push, &view, init, &prcfg, ws, obs,
+                            )
+                        } else {
+                            pagerank_window_blocking_obs(pull, push, range, init, &prcfg, ws, obs)
+                        }
+                    };
+                    let oracle = || oracle_for(pull, push, range, &self.cfg.pr, MAX_ORACLE_ACTIVE);
+                    self.executor()
+                        .drive(w as u32, warm, n_local, kernel, oracle)
+                };
+                if !status.is_valid() {
+                    ws = BlockingWorkspace::default();
+                }
+                let valid = status.is_valid();
+                let ranks: Vec<f64> = match override_ranks {
+                    Some(x) => x,
+                    None => ws.pr.x.clone(),
+                };
+                let output = self.make_output(w, part, stats, &ranks, status, attempts);
+                if valid {
+                    prev = ranks;
+                    prev_part = Some(part_idx);
+                } else {
+                    prev_part = None;
+                }
+                output
+            },
+        )
     }
 
     // --- SpMM path ------------------------------------------------------
@@ -602,7 +511,7 @@ impl PostmortemEngine {
                 } else {
                     BatchObs::off()
                 };
-                catch_unwind(AssertUnwindSafe(|| {
+                isolate(|| {
                     if self.cfg.use_window_index {
                         let index = part.window_index();
                         let views: Vec<_> = clean.iter().map(|&lw| index.view(lw)).collect();
@@ -628,7 +537,7 @@ impl PostmortemEngine {
                             obs,
                         )
                     }
-                }))
+                })
             };
             let nlanes = clean.len();
             match batch {
@@ -637,13 +546,7 @@ impl PostmortemEngine {
                         let w = w0 + lw;
                         let st = stats[i];
                         if st.converged || self.cfg.pr.max_iters == 0 {
-                            let status = if st.health.is_clean() {
-                                WindowStatus::Ok
-                            } else {
-                                WindowStatus::Recovered {
-                                    via: RecoveryKind::GuardIntervention,
-                                }
-                            };
+                            let status = classify_converged(&st);
                             let lane = ws.lane(i, nlanes);
                             out.push(self.make_output(w, part, st, &lane, status, 1));
                             prev[lw / region] = Some(lane);
@@ -689,6 +592,8 @@ impl PostmortemEngine {
             .partition_point(|g| g.windows().end <= window)
     }
 
+    /// Terminal output assembly, delegated to the shared execution layer
+    /// with this part's local→global vertex map.
     fn make_output(
         &self,
         window: usize,
@@ -698,67 +603,60 @@ impl PostmortemEngine {
         status: WindowStatus,
         attempts: u16,
     ) -> WindowOutput {
-        let w32 = window as u32;
-        let (kind, counter) = match &status {
-            WindowStatus::Ok => (TraceKind::WindowOk, "windows.ok"),
-            WindowStatus::Recovered { .. } => (TraceKind::WindowRecovered, "windows.recovered"),
-            WindowStatus::Failed { .. } => (TraceKind::WindowFailed, "windows.failed"),
-        };
-        self.tele.add(counter, 1);
-        self.tele
-            .observe("window.iterations", stats.iterations as f64);
-        self.tele
-            .record(TraceEvent::marker(TraceKind::WindowStart, w32, 1, 0));
-        self.tele.record(TraceEvent::marker(
-            kind,
-            w32,
-            attempts,
-            stats.iterations as u32,
-        ));
-        let map = part.vertex_map();
-        let fingerprint = local_ranks
-            .iter()
-            .enumerate()
-            .filter(|(_, &x)| x > 0.0)
-            .map(|(l, &x)| x * hash01(map[l]))
-            .sum();
-        let ranks = match self.cfg.retain {
-            RetainMode::Full => Some(SparseRanks::from_local(local_ranks, map)),
-            RetainMode::Summary => None,
-        };
-        WindowOutput {
+        self.executor().finalize(
             window,
+            Some(part.vertex_map()),
             stats,
-            fingerprint,
-            ranks,
+            local_ranks,
             status,
             attempts,
+        )
+    }
+}
+
+/// [`WindowSource`] for the in-order SpMV/push walks: the per-window work
+/// item is the index of the multi-window part holding the window.
+struct PartSource<'a> {
+    engine: &'a PostmortemEngine,
+}
+
+impl WindowSource for PartSource<'_> {
+    type Item = usize;
+
+    fn setup(&mut self, window: usize) -> usize {
+        self.engine.part_index_of(window)
+    }
+}
+
+/// [`Prefetcher`] overlapping the *next* part's lazy window-index
+/// construction with the current window's kernel. The index sits behind a
+/// `OnceLock` and its construction records no telemetry, so prefetching is
+/// invisible to ranks and deterministic traces — it only moves build time
+/// off the critical path.
+struct PartIndexPrefetcher<'a> {
+    engine: &'a PostmortemEngine,
+}
+
+impl Prefetcher for PartIndexPrefetcher<'_> {
+    fn next_after(&self, window: usize) -> Option<usize> {
+        let next = window + 1;
+        if next >= self.engine.spec().count {
+            return None;
         }
+        let p = self.engine.part_index_of(next);
+        if p == self.engine.part_index_of(window) {
+            // Same part: its index is already (being) built by this window.
+            return None;
+        }
+        self.engine.set.graphs()[p]
+            .window_index_built()
+            .is_none()
+            .then_some(next)
     }
-}
 
-/// Exact-solve fallback for one window, or `None` when its active set is
-/// too large for the dense `O(n³)` oracle.
-fn oracle_for(
-    pull: &TemporalCsr,
-    push: &TemporalCsr,
-    range: TimeRange,
-    cfg: &PrConfig,
-) -> Option<Result<Vec<f64>, KernelError>> {
-    match solve_pagerank_exact(pull, push, range, cfg, MAX_ORACLE_ACTIVE) {
-        Err(KernelError::ActiveSetTooLarge { .. }) => None,
-        r => Some(r),
-    }
-}
-
-/// Best-effort human-readable panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
+    fn prefetch(&self, window: usize) {
+        let part = &self.engine.set.graphs()[self.engine.part_index_of(window)];
+        let _ = part.window_index();
     }
 }
 
@@ -788,7 +686,8 @@ pub fn auto_multiwindows(spec: &WindowSpec, kernel: KernelKind) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{KernelKind, ParallelMode, PostmortemConfig};
+    use crate::config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
+    use crate::result::SparseRanks;
     use tempopr_graph::Event;
     use tempopr_kernel::{Partitioner, PrConfig};
 

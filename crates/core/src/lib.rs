@@ -31,6 +31,7 @@ pub mod advisor;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod observe;
 pub mod offline;
 pub mod result;
@@ -39,6 +40,9 @@ pub use advisor::{suggest, suggest_for_profile, suggested_multiwindows, Workload
 pub use config::{FaultPlan, KernelKind, ParallelMode, PostmortemConfig, RetainMode, WindowFault};
 pub use engine::{auto_multiwindows, PostmortemEngine};
 pub use error::{EngineError, Phase};
+pub use exec::{Prefetcher, RecoveryPolicy, WindowExecutor, WindowSource, MAX_ORACLE_ACTIVE};
 pub use observe::TelemetryKernelBridge;
 pub use offline::{run_offline, run_offline_traced, OfflineConfig};
-pub use result::{RecoveryKind, RunOutput, SparseRanks, WindowOutput, WindowStatus};
+pub use result::{
+    rank_fingerprint, RecoveryKind, RunOutput, SparseRanks, WindowOutput, WindowStatus,
+};

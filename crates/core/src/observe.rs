@@ -4,10 +4,12 @@
 //! The kernel crate stays dependency-free by defining only the
 //! [`tempopr_kernel::KernelObserver`] trait; this module supplies the one
 //! implementation the drivers use. One bridge is constructed per kernel
-//! *attempt* so every forwarded trace event carries the recovery-attempt
-//! label (1 = configured run, 2 = full-init retry) without interior
-//! mutability — the bridge itself is a pair of plain references and is
-//! trivially `Sync` for the scheduler's thread pool.
+//! *attempt* — the kernel closures handed to
+//! [`crate::exec::WindowExecutor::drive`] build a fresh one each time the
+//! executor re-invokes them — so every forwarded trace event carries the
+//! recovery-attempt label (1 = configured run, 2 = full-init retry)
+//! without interior mutability; the bridge itself is a pair of plain
+//! references and is trivially `Sync` for the scheduler's thread pool.
 
 use tempopr_kernel::KernelObserver;
 use tempopr_telemetry::{Phase, Telemetry, TraceEvent, TraceKind};

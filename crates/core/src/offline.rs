@@ -5,21 +5,31 @@
 //! graph construction, but it is massively parallel across windows (every
 //! window is independent — no partial initialization is possible). The
 //! builder here is the natural optimized one: the time-sorted event log is
-//! sliced by binary search, then deduplicated into a CSR.
+//! sliced by binary search, then deduplicated into a CSR — rebuilt *in
+//! place* into the previous window's buffers, so the steady-state walk
+//! allocates nothing per window.
+//!
+//! The per-window lifecycle (setup → kernel → terminal status → output)
+//! runs on the shared execution layer ([`crate::exec`]): the
+//! [`WindowSource`] here is the CSR rebuilder, and the in-order walk can
+//! overlap the next window's CSR construction with the current kernel when
+//! [`OfflineConfig::pipeline`] is set.
 
-use crate::config::RetainMode;
+use crate::config::{FaultPlan, RetainMode};
 use crate::error::EngineError;
-use crate::observe::TelemetryKernelBridge;
-use crate::result::{RunOutput, SparseRanks, WindowOutput, WindowStatus};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use tempopr_graph::{Csr, EventLog, WindowSpec};
-use tempopr_kernel::{
-    pagerank_csr_obs, thread_pool, Init, Obs, PrConfig, PrStats, PrWorkspace, Scheduler,
+use crate::exec::{
+    oracle_from_events, run_windows, Prefetcher, RecoveryPolicy, WindowExecutor, WindowSource,
 };
-use tempopr_telemetry::{Phase as RunPhase, Telemetry, TraceEvent, TraceKind};
+use crate::observe::TelemetryKernelBridge;
+use crate::result::{RunOutput, WindowOutput};
+use std::cell::Cell;
+use std::sync::Mutex;
+use tempopr_graph::{Csr, EventLog, WindowSpec};
+use tempopr_kernel::{pagerank_csr_obs, thread_pool, Init, Obs, PrConfig, PrWorkspace, Scheduler};
+use tempopr_telemetry::{Phase as RunPhase, Telemetry};
 
 /// Configuration of an offline run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OfflineConfig {
     /// Symmetrize events when building each window's graph.
     pub symmetric: bool,
@@ -34,6 +44,18 @@ pub struct OfflineConfig {
     pub threads: usize,
     /// Output retention.
     pub retain: RetainMode,
+    /// Deterministic fault injection plan (testing only; empty by default).
+    pub faults: FaultPlan,
+    /// Recovery rungs for failed windows. Defaults to
+    /// [`RecoveryPolicy::fail_only`] — the offline baseline historically
+    /// reports a window that cannot converge as `Failed` — but accepts the
+    /// full ladder for cross-driver parity testing.
+    pub recovery: RecoveryPolicy,
+    /// Overlap the next window's CSR construction with the current
+    /// window's kernel (sequential walks only). Ranks are identical either
+    /// way; only wall-clock build time moves off the critical path. Off by
+    /// default.
+    pub pipeline: bool,
 }
 
 impl Default for OfflineConfig {
@@ -45,6 +67,9 @@ impl Default for OfflineConfig {
             scheduler: Scheduler::default(),
             threads: 0,
             retain: RetainMode::Full,
+            faults: FaultPlan::default(),
+            recovery: RecoveryPolicy::fail_only(),
+            pipeline: false,
         }
     }
 }
@@ -66,8 +91,10 @@ impl Default for OfflineConfig {
 /// ```
 ///
 /// Errors only on setup (an unbuildable thread pool); per-window kernel
-/// failures are contained as [`WindowStatus::Failed`] entries and set the
-/// output's `degraded` flag, exactly like the postmortem engine.
+/// failures are contained as
+/// [`WindowStatus::Failed`](crate::result::WindowStatus::Failed) entries
+/// and set the output's `degraded` flag, exactly like the postmortem
+/// engine.
 pub fn run_offline(
     log: &EventLog,
     spec: WindowSpec,
@@ -101,6 +128,92 @@ pub fn run_offline_traced(
     Ok(out)
 }
 
+/// Locks the prefetch cache, recovering from poison (a panicked prefetch
+/// must not take the run down).
+fn lock(m: &Mutex<Option<(usize, Csr)>>) -> std::sync::MutexGuard<'_, Option<(usize, Csr)>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`WindowSource`] of the offline model: slices the event log and
+/// (re)builds one CSR per window, recycling the previous window's arrays.
+/// With a prefetch cache attached, a CSR built ahead of time by the
+/// [`OfflinePrefetcher`] is claimed instead of rebuilt.
+struct OfflineSource<'a> {
+    log: &'a EventLog,
+    spec: WindowSpec,
+    symmetric: bool,
+    tele: &'a Telemetry,
+    cache: Option<&'a Mutex<Option<(usize, Csr)>>>,
+    spare: Option<Csr>,
+}
+
+impl WindowSource for OfflineSource<'_> {
+    type Item = Csr;
+
+    fn setup(&mut self, window: usize) -> Csr {
+        if let Some(cache) = self.cache {
+            let mut slot = lock(cache);
+            if matches!(*slot, Some((w, _)) if w == window) {
+                if let Some((_, csr)) = slot.take() {
+                    return csr;
+                }
+            }
+        }
+        let range = self.spec.window(window);
+        let build = self.tele.phase(RunPhase::Build);
+        let events = self.log.slice_by_time(range.start, range.end);
+        // The per-window construction the offline model pays for: a fresh
+        // CSR over the whole universe, into the recycled buffers.
+        let csr = match self.spare.take() {
+            Some(mut spare) => {
+                spare.rebuild_from_events(self.log.num_vertices(), events, self.symmetric);
+                spare
+            }
+            None => Csr::from_events(self.log.num_vertices(), events, self.symmetric),
+        };
+        drop(build);
+        csr
+    }
+
+    fn finalize(&mut self, _window: usize, csr: Csr) {
+        self.spare = Some(csr);
+    }
+}
+
+/// Builds window `w+1`'s CSR into a shared cache slot while window `w`'s
+/// kernel runs. Construction records only wall-clock build time (no trace
+/// events), so the overlapped run's deterministic trace is unchanged.
+struct OfflinePrefetcher<'a> {
+    log: &'a EventLog,
+    spec: WindowSpec,
+    symmetric: bool,
+    tele: &'a Telemetry,
+    cache: &'a Mutex<Option<(usize, Csr)>>,
+}
+
+impl Prefetcher for OfflinePrefetcher<'_> {
+    fn next_after(&self, window: usize) -> Option<usize> {
+        let next = window + 1;
+        (next < self.spec.count).then_some(next)
+    }
+
+    fn prefetch(&self, window: usize) {
+        let spare = lock(self.cache).take().map(|(_, csr)| csr);
+        let range = self.spec.window(window);
+        let build = self.tele.phase(RunPhase::Build);
+        let events = self.log.slice_by_time(range.start, range.end);
+        let csr = match spare {
+            Some(mut csr) => {
+                csr.rebuild_from_events(self.log.num_vertices(), events, self.symmetric);
+                csr
+            }
+            None => Csr::from_events(self.log.num_vertices(), events, self.symmetric),
+        };
+        drop(build);
+        *lock(self.cache) = Some((window, csr));
+    }
+}
+
 fn run_offline_inner(
     log: &EventLog,
     spec: WindowSpec,
@@ -113,8 +226,17 @@ fn run_offline_inner(
             Vec::new(),
             |r| {
                 let mut ws = PrWorkspace::default();
-                r.map(|w| offline_window(log, spec, cfg, w, None, &mut ws, tele))
-                    .collect()
+                let mut source = OfflineSource {
+                    log,
+                    spec,
+                    symmetric: cfg.symmetric,
+                    tele,
+                    cache: None,
+                    spare: None,
+                };
+                run_windows(&mut source, r, None, tele, |_, w, csr| {
+                    offline_compute(log, spec, cfg, w, csr, None, &mut ws, tele)
+                })
             },
             |mut a: Vec<WindowOutput>, mut b| {
                 a.append(&mut b);
@@ -122,10 +244,27 @@ fn run_offline_inner(
             },
         )
     } else {
+        let cache = Mutex::new(None);
+        let prefetcher = cfg.pipeline.then_some(OfflinePrefetcher {
+            log,
+            spec,
+            symmetric: cfg.symmetric,
+            tele,
+            cache: &cache,
+        });
+        let prefetcher = prefetcher.as_ref().map(|p| p as &dyn Prefetcher);
         let mut ws = PrWorkspace::default();
-        (0..spec.count)
-            .map(|w| offline_window(log, spec, cfg, w, Some(&cfg.scheduler), &mut ws, tele))
-            .collect()
+        let mut source = OfflineSource {
+            log,
+            spec,
+            symmetric: cfg.symmetric,
+            tele,
+            cache: cfg.pipeline.then_some(&cache),
+            spare: None,
+        };
+        run_windows(&mut source, 0..spec.count, prefetcher, tele, |_, w, csr| {
+            offline_compute(log, spec, cfg, w, csr, Some(&cfg.scheduler), &mut ws, tele)
+        })
     };
     RunOutput {
         windows,
@@ -133,111 +272,72 @@ fn run_offline_inner(
     }
 }
 
-fn offline_window(
+/// Runs one prepared window through the shared executor and assembles its
+/// terminal output.
+#[allow(clippy::too_many_arguments)]
+fn offline_compute(
     log: &EventLog,
     spec: WindowSpec,
     cfg: &OfflineConfig,
     w: usize,
+    csr: &Csr,
     inner: Option<&Scheduler>,
     ws: &mut PrWorkspace,
     tele: &Telemetry,
 ) -> WindowOutput {
-    let range = spec.window(w);
-    let build = tele.phase(RunPhase::Build);
-    let events = log.slice_by_time(range.start, range.end);
-    // The per-window construction the offline model pays for: a fresh CSR
-    // over the whole universe.
-    let csr = Csr::from_events(log.num_vertices(), events, cfg.symmetric);
-    drop(build);
     tele.observe("memory.csr_bytes", csr.memory_bytes() as f64);
-    let bridge = TelemetryKernelBridge::new(tele, 1);
-    let obs = if tele.is_enabled() {
-        Obs::new(&bridge, w as u32)
-    } else {
-        Obs::off()
+    let executor = WindowExecutor::new(tele, &cfg.pr, cfg.recovery, cfg.retain);
+    let prcfg = PrConfig {
+        fault: cfg.faults.fault_for(w).or(cfg.pr.fault),
+        ..cfg.pr
     };
-    // Offline windows always start from uniform init, so the engine's
-    // full-init retry is meaningless here; a kernel error, panic, or
-    // non-convergence simply fails the window (the run continues and the
-    // output is flagged degraded).
-    let attempt = catch_unwind(AssertUnwindSafe(|| {
+    let range = spec.window(w);
+    let attempt_no = Cell::new(0u16);
+    // Offline windows always start from uniform init, so the `uniform`
+    // retry flag changes nothing — every attempt is a cold recompute.
+    let kernel = |_uniform: bool| {
+        attempt_no.set(attempt_no.get() + 1);
+        let bridge = TelemetryKernelBridge::new(tele, attempt_no.get());
+        let obs = if tele.is_enabled() {
+            Obs::new(&bridge, w as u32)
+        } else {
+            Obs::off()
+        };
         if cfg.symmetric {
-            pagerank_csr_obs(&csr, &csr, Init::Uniform, &cfg.pr, inner, ws, obs)
+            pagerank_csr_obs(csr, csr, Init::Uniform, &prcfg, inner, ws, obs)
         } else {
             let pull = csr.transpose();
-            pagerank_csr_obs(&pull, &csr, Init::Uniform, &cfg.pr, inner, ws, obs)
-        }
-    }));
-    let (stats, status) = match attempt {
-        Ok(Ok(stats)) if stats.converged || cfg.pr.max_iters == 0 => {
-            let status = if stats.health.is_clean() {
-                WindowStatus::Ok
-            } else {
-                WindowStatus::Recovered {
-                    via: crate::result::RecoveryKind::GuardIntervention,
-                }
-            };
-            (stats, status)
-        }
-        Ok(Ok(stats)) => (
-            stats,
-            WindowStatus::Failed {
-                diagnostic: format!("did not converge within {} iterations", cfg.pr.max_iters),
-            },
-        ),
-        Ok(Err(e)) => (
-            PrStats::empty(),
-            WindowStatus::Failed {
-                diagnostic: e.to_string(),
-            },
-        ),
-        Err(_) => {
-            // The workspace may hold partial state; discard it.
-            *ws = PrWorkspace::default();
-            (
-                PrStats::empty(),
-                WindowStatus::Failed {
-                    diagnostic: "kernel panicked".to_string(),
-                },
-            )
+            pagerank_csr_obs(&pull, csr, Init::Uniform, &prcfg, inner, ws, obs)
         }
     };
-    let (kind, counter) = match &status {
-        WindowStatus::Ok => (TraceKind::WindowOk, "windows.ok"),
-        WindowStatus::Recovered { .. } => (TraceKind::WindowRecovered, "windows.recovered"),
-        WindowStatus::Failed { .. } => (TraceKind::WindowFailed, "windows.failed"),
+    let oracle = || {
+        let events = log.slice_by_time(range.start, range.end);
+        oracle_from_events(
+            log.num_vertices(),
+            events,
+            cfg.symmetric,
+            range,
+            &cfg.pr,
+            cfg.recovery.max_oracle_active,
+        )
     };
-    tele.add(counter, 1);
-    tele.observe("window.iterations", stats.iterations as f64);
-    tele.record(TraceEvent::marker(TraceKind::WindowStart, w as u32, 1, 0));
-    tele.record(TraceEvent::marker(
-        kind,
-        w as u32,
-        1,
-        stats.iterations as u32,
-    ));
-    let sparse = if status.is_valid() {
-        SparseRanks::from_dense(ws.ranks())
-    } else {
-        SparseRanks::from_dense(&[])
-    };
-    let fingerprint = sparse.fingerprint();
-    WindowOutput {
-        window: w,
-        stats,
-        fingerprint,
-        status,
-        ranks: match cfg.retain {
-            RetainMode::Full => Some(sparse),
-            RetainMode::Summary => None,
-        },
-        attempts: 1,
+    let (stats, status, override_ranks, attempts) =
+        executor.drive(w as u32, false, log.num_vertices(), kernel, oracle);
+    if !status.is_valid() {
+        // A failed attempt may have left partial state behind.
+        *ws = PrWorkspace::default();
     }
+    let local: &[f64] = match &override_ranks {
+        Some(x) => x,
+        None => ws.ranks(),
+    };
+    executor.finalize(w, None, stats, local, status, attempts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::result::SparseRanks;
     use tempopr_graph::Event;
 
     fn test_log() -> EventLog {
@@ -303,6 +403,24 @@ mod tests {
         for (a, b) in par.windows.iter().zip(seq.windows.iter()) {
             assert!((a.fingerprint - b.fingerprint).abs() < 1e-9);
             assert_eq!(a.stats.active_vertices, b.stats.active_vertices);
+        }
+    }
+
+    #[test]
+    fn pipelined_run_is_bit_identical() {
+        let log = test_log();
+        let spec = WindowSpec::covering(&log, 50, 30).unwrap();
+        let mk = |pipeline| OfflineConfig {
+            parallel_windows: false,
+            pipeline,
+            ..tight()
+        };
+        let plain = run_offline(&log, spec, &mk(false)).unwrap();
+        let piped = run_offline(&log, spec, &mk(true)).unwrap();
+        for (a, b) in plain.windows.iter().zip(piped.windows.iter()) {
+            assert_eq!(a.fingerprint.to_bits(), b.fingerprint.to_bits());
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.status, b.status);
         }
     }
 

@@ -92,14 +92,34 @@ impl SparseRanks {
 
     /// Order-sensitive fingerprint: `Σ rank(v) · h(v)` with `h` a SplitMix64
     /// hash mapped to `[0, 1)`. Two models computing the same ranks agree on
-    /// the fingerprint regardless of internal vertex numbering.
+    /// the fingerprint regardless of internal vertex numbering. Delegates to
+    /// the canonical [`rank_fingerprint`] helper.
     pub fn fingerprint(&self) -> f64 {
-        self.vertices
-            .iter()
-            .zip(self.values.iter())
-            .map(|(&v, &x)| x * hash01(v))
-            .sum()
+        rank_fingerprint(&self.values, Some(&self.vertices))
     }
+}
+
+/// Canonical rank fingerprint: `Σ rank(v) · h(v)` over strictly positive
+/// entries of a local rank vector, in local-index order. With a
+/// local→global `vertex_map` the hash is taken over global ids (so two
+/// models with different internal numberings agree); without one the local
+/// index *is* the global id (dense vectors). This is the single
+/// implementation all three drivers and [`SparseRanks::fingerprint`] share
+/// — the summation order is part of the bit-identity contract between the
+/// drivers and the golden traces.
+pub fn rank_fingerprint(local: &[f64], vertex_map: Option<&[u32]>) -> f64 {
+    if let Some(map) = vertex_map {
+        debug_assert_eq!(local.len(), map.len());
+    }
+    local
+        .iter()
+        .enumerate()
+        .filter(|&(_, &x)| x > 0.0)
+        .map(|(l, &x)| {
+            let v = vertex_map.map_or(l as u32, |m| m[l]);
+            x * hash01(v)
+        })
+        .sum()
 }
 
 /// SplitMix64-based hash of a vertex id into `[0, 1)`.
@@ -299,6 +319,20 @@ mod tests {
         // And differs when ranks differ.
         let c = SparseRanks::from_local(&[0.7, 0.3], &[4, 8]);
         assert!((a.fingerprint() - c.fingerprint()).abs() > 1e-6);
+    }
+
+    #[test]
+    fn rank_fingerprint_matches_sparse_forms() {
+        let local = [0.3, 0.0, 0.7];
+        let map = [4u32, 6, 8];
+        let via_helper = rank_fingerprint(&local, Some(&map));
+        let via_sparse = SparseRanks::from_local(&local, &map).fingerprint();
+        assert_eq!(via_helper.to_bits(), via_sparse.to_bits());
+
+        let dense = [0.0, 0.25, 0.0, 0.75];
+        let via_dense_helper = rank_fingerprint(&dense, None);
+        let via_dense_sparse = SparseRanks::from_dense(&dense).fingerprint();
+        assert_eq!(via_dense_helper.to_bits(), via_dense_sparse.to_bits());
     }
 
     #[test]

@@ -17,8 +17,8 @@ use crate::events::{Event, VertexId};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     num_vertices: usize,
-    row: Box<[usize]>,
-    col: Box<[VertexId]>,
+    row: Vec<usize>,
+    col: Vec<VertexId>,
 }
 
 impl Csr {
@@ -45,7 +45,75 @@ impl Csr {
     /// Builds a simple CSR from a window of events (offline model's
     /// per-window construction).
     pub fn from_events(num_vertices: usize, events: &[Event], symmetric: bool) -> Self {
-        Self::from_edges(num_vertices, events.iter().map(|e| (e.u, e.v)), symmetric)
+        let mut csr = Csr {
+            num_vertices: 0,
+            row: Vec::new(),
+            col: Vec::new(),
+        };
+        csr.rebuild_from_events(num_vertices, events, symmetric);
+        csr
+    }
+
+    /// Rebuilds this CSR in place from a new window of events, reusing the
+    /// row and column allocations of the previous window.
+    ///
+    /// Produces exactly the graph [`Csr::from_events`] would (bit-identical
+    /// arrays), but a driver walking many same-universe windows reaches a
+    /// steady state with zero allocations per rebuild — the adjacency of
+    /// consecutive sliding windows has roughly constant size, so the
+    /// buffers stop growing after the first few windows.
+    pub fn rebuild_from_events(&mut self, num_vertices: usize, events: &[Event], symmetric: bool) {
+        self.num_vertices = num_vertices;
+        let row = &mut self.row;
+        row.clear();
+        row.resize(num_vertices + 1, 0);
+        for e in events {
+            debug_assert!((e.u as usize) < num_vertices && (e.v as usize) < num_vertices);
+            row[e.u as usize + 1] += 1;
+            if symmetric && e.u != e.v {
+                row[e.v as usize + 1] += 1;
+            }
+        }
+        for i in 0..num_vertices {
+            row[i + 1] += row[i];
+        }
+        let total = row[num_vertices];
+        self.col.clear();
+        self.col.resize(total, 0);
+        // Scatter, advancing row[v] from the start of v's range to its end
+        // (afterwards row[v] holds v's end == v+1's start).
+        for e in events {
+            let c = &mut row[e.u as usize];
+            self.col[*c] = e.v;
+            *c += 1;
+            if symmetric && e.u != e.v {
+                let c = &mut row[e.v as usize];
+                self.col[*c] = e.u;
+                *c += 1;
+            }
+        }
+        // Sort and dedup each row in place, compacting col and restoring
+        // row[v] to v's (post-dedup) start offset. `write <= start` always,
+        // so compaction never overtakes the unread portion.
+        let mut write = 0usize;
+        let mut start = 0usize;
+        for r in row.iter_mut().take(num_vertices) {
+            let end = *r;
+            self.col[start..end].sort_unstable();
+            *r = write;
+            let mut prev: Option<VertexId> = None;
+            for i in start..end {
+                let n = self.col[i];
+                if prev != Some(n) {
+                    self.col[write] = n;
+                    write += 1;
+                    prev = Some(n);
+                }
+            }
+            start = end;
+        }
+        row[num_vertices] = write;
+        self.col.truncate(write);
     }
 
     fn from_pairs(num_vertices: usize, mut pairs: Vec<(VertexId, VertexId)>) -> Self {
@@ -88,8 +156,8 @@ impl Csr {
         col.truncate(write);
         Csr {
             num_vertices,
-            row: row.into_boxed_slice(),
-            col: col.into_boxed_slice(),
+            row,
+            col,
         }
     }
 
@@ -213,6 +281,32 @@ mod tests {
         assert_eq!(t.neighbors(0), &[] as &[u32]);
         // Transposing twice is the identity for a simple graph.
         assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_and_reuses_buffers() {
+        let windows: [&[Event]; 3] = [
+            &[
+                Event::new(0, 1, 1),
+                Event::new(2, 3, 2),
+                Event::new(0, 1, 3),
+                Event::new(4, 0, 4),
+            ],
+            &[Event::new(3, 3, 5), Event::new(1, 2, 6)],
+            &[],
+        ];
+        for symmetric in [false, true] {
+            let mut csr = Csr::from_events(5, windows[0], symmetric);
+            for events in &windows[1..] {
+                let cap = (csr.row.capacity(), csr.col.capacity());
+                csr.rebuild_from_events(5, events, symmetric);
+                let fresh = Csr::from_events(5, events, symmetric);
+                assert_eq!(csr, fresh, "symmetric={symmetric}");
+                // Later, no-larger windows reuse the existing allocations.
+                assert_eq!(csr.row.capacity(), cap.0);
+                assert_eq!(csr.col.capacity(), cap.1);
+            }
+        }
     }
 
     #[test]

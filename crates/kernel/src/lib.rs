@@ -53,7 +53,7 @@ pub use propagation::{
     pagerank_window_blocking_indexed_obs, pagerank_window_blocking_obs, BlockingWorkspace,
 };
 pub use reference::reference_pagerank;
-pub use scheduler::{thread_pool, Partitioner, Scheduler};
+pub use scheduler::{overlap, thread_pool, Partitioner, Scheduler};
 pub use spmm::{
     pagerank_batch, pagerank_batch_indexed, pagerank_batch_indexed_obs, pagerank_batch_obs,
     SpmmWorkspace, MAX_LANES,

@@ -2,8 +2,9 @@
 //!
 //! The kernel crate stays dependency-free: it defines the
 //! [`KernelObserver`] trait and the [`Obs`]/[`BatchObs`] carriers, and the
-//! driver layer (tempopr-core) supplies an implementation that forwards to
-//! its telemetry sink. Every existing kernel entry point has an `_obs`
+//! driver layer (tempopr-core's observe module, invoked from the kernel
+//! closures its execution layer drives) supplies an implementation that
+//! forwards to its telemetry sink. Every existing kernel entry point has an `_obs`
 //! twin taking a carrier; the original names delegate with [`Obs::off`],
 //! so observation is strictly opt-in.
 //!

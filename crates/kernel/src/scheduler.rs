@@ -243,6 +243,36 @@ impl Scheduler {
     }
 }
 
+/// Runs `background` on a scoped helper thread while `foreground` runs on
+/// the calling thread, returning both results plus how long the caller had
+/// to *wait* for the background task after its own work finished (the
+/// pipeline stall). The scope guarantees the helper joined before this
+/// returns, so both closures may borrow from the caller's stack.
+///
+/// This is the primitive behind the executor's setup/compute overlap: the
+/// next window's setup runs as `background` while the current window's
+/// kernel runs as `foreground`.
+pub fn overlap<RA, RB, FA, FB>(background: FA, foreground: FB) -> (RA, RB, std::time::Duration)
+where
+    RA: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB,
+{
+    std::thread::scope(|s| {
+        let handle = s.spawn(background);
+        let fg = foreground();
+        let wait_start = std::time::Instant::now();
+        let bg = match handle.join() {
+            Ok(v) => v,
+            // Propagate a background panic on the calling thread so the
+            // driver's own isolation (if any) sees it; overlap itself adds
+            // no swallowing.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (bg, fg, wait_start.elapsed())
+    })
+}
+
 /// Builds a rayon thread pool with `threads` workers (0 = rayon default,
 /// i.e. all cores). Experiments use dedicated pools so thread count is an
 /// explicit experimental variable instead of global state.
@@ -410,6 +440,30 @@ mod tests {
         let s = Scheduler::default();
         let mut data = vec![0u8; 7];
         s.map_reduce_rows_mut(&mut data, 3, (), |_, _| (), |_, _| ());
+    }
+
+    #[test]
+    fn overlap_runs_both_and_joins() {
+        let mut touched = 0u32;
+        let data = [1u64, 2, 3];
+        let (bg, fg, stall) = overlap(
+            || data.iter().sum::<u64>(),
+            || {
+                touched += 1;
+                touched
+            },
+        );
+        assert_eq!(bg, 6);
+        assert_eq!(fg, 1);
+        assert!(stall.as_nanos() < u128::MAX);
+    }
+
+    #[test]
+    fn overlap_propagates_background_panic() {
+        let r = std::panic::catch_unwind(|| {
+            overlap(|| panic!("boom"), || 7u8);
+        });
+        assert!(r.is_err());
     }
 
     #[test]

@@ -8,14 +8,24 @@
 //! Only one version of the graph exists at a time, so the model has no
 //! across-window parallelism: parallelism is limited to inside the kernel
 //! and the update batches.
+//!
+//! The per-window lifecycle runs on the shared execution layer
+//! ([`tempopr_core::exec`]): the [`WindowSource`] here is the mutating
+//! store replay, and failure handling (panic isolation, the recovery
+//! ladder under [`StreamingConfig::recovery`], terminal status assembly)
+//! is the same single implementation the postmortem and offline drivers
+//! use.
 
 use crate::pagerank::{local_push_pagerank, streaming_pagerank_obs};
 use crate::store::StreamingGraph;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use tempopr_core::{EngineError, RunOutput, SparseRanks, WindowOutput, WindowStatus};
+use std::cell::Cell;
+use tempopr_core::exec::{
+    oracle_from_events, run_windows, RecoveryPolicy, WindowExecutor, WindowSource,
+};
+use tempopr_core::{EngineError, RunOutput};
 use tempopr_core::{FaultPlan, RetainMode, TelemetryKernelBridge};
 use tempopr_graph::{EventLog, WindowSpec};
-use tempopr_kernel::{thread_pool, Init, Obs, PrConfig, PrStats, PrWorkspace, Scheduler};
+use tempopr_kernel::{thread_pool, Init, Obs, PrConfig, PrWorkspace, Scheduler};
 use tempopr_telemetry::{Phase as RunPhase, Telemetry, TraceEvent, TraceKind};
 
 /// How ranks are updated after each window's batch of edge updates.
@@ -53,6 +63,12 @@ pub struct StreamingConfig {
     /// path. Mirrors the postmortem engine's plan so the driver's
     /// failure/cold-restart path is testable.
     pub faults: FaultPlan,
+    /// Recovery rungs for failed windows. Defaults to
+    /// [`RecoveryPolicy::fail_only`] — the streaming baseline historically
+    /// reports a window that cannot converge as `Failed` and cold-restarts
+    /// the next — but accepts the full ladder for cross-driver parity
+    /// testing.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for StreamingConfig {
@@ -65,6 +81,7 @@ impl Default for StreamingConfig {
             threads: 0,
             retain: RetainMode::Full,
             faults: FaultPlan::default(),
+            recovery: RecoveryPolicy::fail_only(),
         }
     }
 }
@@ -84,7 +101,8 @@ impl Default for StreamingConfig {
 /// ```
 ///
 /// Errors only on setup (an unbuildable thread pool); a window whose
-/// kernel errors or panics is reported as [`WindowStatus::Failed`] — the
+/// kernel errors or panics is reported as
+/// [`WindowStatus::Failed`](tempopr_core::WindowStatus::Failed) — the
 /// replay continues with the next window from a cold start and the output
 /// is flagged degraded.
 pub fn run_streaming(
@@ -120,6 +138,60 @@ pub fn run_streaming_traced(
     Ok(out)
 }
 
+/// [`WindowSource`] of the streaming model: applies each window's update
+/// batch (inserts of entering events, deletes of leaving ones) to the one
+/// live version of the graph. The work item is the mutated store itself,
+/// accessed through the source.
+struct StreamSource<'a> {
+    log: &'a EventLog,
+    spec: WindowSpec,
+    /// Sort + dedup the touched-vertex list after the batch (the local
+    /// push kernel's seed set; idempotent across recovery attempts).
+    sort_touched: bool,
+    tele: &'a Telemetry,
+    graph: StreamingGraph,
+    touched: Vec<u32>,
+}
+
+impl WindowSource for StreamSource<'_> {
+    type Item = ();
+
+    fn setup(&mut self, w: usize) {
+        let range = self.spec.window(w);
+        self.touched.clear();
+        // The update batch is the streaming model's per-window setup cost.
+        let setup = self.tele.phase(RunPhase::WindowSetup);
+        // Insert events that entered the window.
+        let ins_lo = if w == 0 {
+            range.start
+        } else {
+            // Events up to the previous window's end are already present.
+            (self.spec.window(w - 1).end + 1).max(range.start)
+        };
+        for e in self.log.slice_by_time(ins_lo, range.end) {
+            self.graph.insert_event(e.u, e.v, e.t);
+            self.touched.push(e.u);
+            self.touched.push(e.v);
+        }
+        // Delete events that left the window.
+        if w > 0 {
+            let prev_range = self.spec.window(w - 1);
+            let del_hi = (range.start - 1).min(prev_range.end);
+            for e in self.log.slice_by_time(prev_range.start, del_hi) {
+                let removed = self.graph.delete_event(e.u, e.v);
+                debug_assert!(removed, "window {w}: deleting an event never inserted");
+                self.touched.push(e.u);
+                self.touched.push(e.v);
+            }
+        }
+        if self.sort_touched {
+            self.touched.sort_unstable();
+            self.touched.dedup();
+        }
+        drop(setup);
+    }
+}
+
 fn run_streaming_inner(
     log: &EventLog,
     spec: WindowSpec,
@@ -127,47 +199,25 @@ fn run_streaming_inner(
     tele: &Telemetry,
 ) -> RunOutput {
     let n = log.num_vertices();
-    let mut graph = StreamingGraph::new(n);
     let mut ws = PrWorkspace::default();
     let mut prev: Vec<f64> = vec![0.0; n];
     let mut have_prev = false;
-    let mut touched: Vec<u32> = Vec::new();
-    let mut windows = Vec::with_capacity(spec.count);
     let sched = cfg.parallel_kernel.then_some(&cfg.scheduler);
+    let executor = WindowExecutor::new(tele, &cfg.pr, cfg.recovery, cfg.retain);
+    let mut source = StreamSource {
+        log,
+        spec,
+        sort_touched: cfg.incremental == IncrementalMode::LocalPush,
+        tele,
+        graph: StreamingGraph::new(n),
+        touched: Vec::new(),
+    };
 
-    for w in 0..spec.count {
+    let windows = run_windows(&mut source, 0..spec.count, None, tele, |src, w, _| {
         let range = spec.window(w);
-        touched.clear();
-        // The update batch is the streaming model's per-window setup cost.
-        let setup = tele.phase(RunPhase::WindowSetup);
-        // Insert events that entered the window.
-        let ins_lo = if w == 0 {
-            range.start
-        } else {
-            // Events up to the previous window's end are already present.
-            (spec.window(w - 1).end + 1).max(range.start)
-        };
-        for e in log.slice_by_time(ins_lo, range.end) {
-            graph.insert_event(e.u, e.v, e.t);
-            touched.push(e.u);
-            touched.push(e.v);
-        }
-        // Delete events that left the window.
-        if w > 0 {
-            let prev_range = spec.window(w - 1);
-            let del_hi = (range.start - 1).min(prev_range.end);
-            for e in log.slice_by_time(prev_range.start, del_hi) {
-                let removed = graph.delete_event(e.u, e.v);
-                debug_assert!(removed, "window {w}: deleting an event never inserted");
-                touched.push(e.u);
-                touched.push(e.v);
-            }
-        }
-        drop(setup);
-
-        // A broken warm-start chain is the streaming model's recovery
-        // story: the window after a failure recomputes from a cold
-        // uniform start.
+        // A broken warm-start chain is the streaming model's baseline
+        // recovery story: the window after a failure recomputes from a
+        // cold uniform start.
         if w > 0 && !have_prev {
             tele.add("recovery.cold_restart", 1);
             tele.record(TraceEvent::marker(
@@ -177,111 +227,93 @@ fn run_streaming_inner(
                 0,
             ));
         }
-        let pr = PrConfig {
+        let prcfg = PrConfig {
             fault: cfg.faults.fault_for(w).or(cfg.pr.fault),
             ..cfg.pr
         };
-        let bridge = TelemetryKernelBridge::new(tele, 1);
-        let obs = if tele.is_enabled() {
-            Obs::new(&bridge, w as u32)
-        } else {
-            Obs::off()
-        };
-
-        // Recompute the analysis. A kernel error or panic poisons only
-        // this window: the store itself is untouched by the kernels, so
-        // the replay continues, but the warm-start chain is broken (the
-        // workspace is discarded and the next window starts cold).
-        let attempt = catch_unwind(AssertUnwindSafe(|| match cfg.incremental {
-            IncrementalMode::Recompute => {
-                streaming_pagerank_obs(&graph, Init::Uniform, &pr, sched, &mut ws, obs)
-            }
-            IncrementalMode::WarmRestart => {
-                // Eq. 4-style warm start: shared vertices keep scaled
-                // previous ranks, newcomers take the uniform share (a plain
-                // masked restart leaves newcomers at 0, which converges
-                // slowly for weakly-coupled new components).
-                let init = if have_prev {
-                    Init::Partial(&prev)
+        let was_partial = have_prev && cfg.incremental != IncrementalMode::Recompute;
+        let attempt_no = Cell::new(0u16);
+        // The kernels never mutate the store, so an error or panic poisons
+        // only this window: the replay continues, but the warm-start chain
+        // is broken (the workspace is discarded and the next window starts
+        // cold) unless a recovery rung rescues the window first.
+        let (stats, status, override_ranks, attempts) = {
+            let graph = &src.graph;
+            let touched = &src.touched;
+            let ws = &mut ws;
+            let prev_ref = &prev;
+            let attempt_no = &attempt_no;
+            let kernel = move |uniform: bool| {
+                attempt_no.set(attempt_no.get() + 1);
+                let bridge = TelemetryKernelBridge::new(tele, attempt_no.get());
+                let obs = if tele.is_enabled() {
+                    Obs::new(&bridge, w as u32)
                 } else {
-                    Init::Uniform
+                    Obs::off()
                 };
-                streaming_pagerank_obs(&graph, init, &pr, sched, &mut ws, obs)
-            }
-            IncrementalMode::LocalPush => {
-                if have_prev {
-                    touched.sort_unstable();
-                    touched.dedup();
-                    // The push sweeps have no iteration structure a
-                    // kernel observer could report; their wall time is
-                    // attributed to the SpMV phase as a whole.
-                    let _push = tele.phase(RunPhase::Spmv);
-                    local_push_pagerank(&graph, &prev, &touched, &pr, &mut ws)
-                } else {
-                    streaming_pagerank_obs(&graph, Init::Uniform, &pr, sched, &mut ws, obs)
+                match cfg.incremental {
+                    IncrementalMode::Recompute => {
+                        streaming_pagerank_obs(graph, Init::Uniform, &prcfg, sched, ws, obs)
+                    }
+                    IncrementalMode::WarmRestart => {
+                        // Eq. 4-style warm start: shared vertices keep
+                        // scaled previous ranks, newcomers take the uniform
+                        // share (a plain masked restart leaves newcomers at
+                        // 0, which converges slowly for weakly-coupled new
+                        // components).
+                        let init = if have_prev && !uniform {
+                            Init::Partial(prev_ref)
+                        } else {
+                            Init::Uniform
+                        };
+                        streaming_pagerank_obs(graph, init, &prcfg, sched, ws, obs)
+                    }
+                    IncrementalMode::LocalPush => {
+                        if have_prev && !uniform {
+                            // The push sweeps have no iteration structure a
+                            // kernel observer could report; their wall time
+                            // is attributed to the SpMV phase as a whole.
+                            let _push = tele.phase(RunPhase::Spmv);
+                            local_push_pagerank(graph, prev_ref, touched, &prcfg, ws)
+                        } else {
+                            streaming_pagerank_obs(graph, Init::Uniform, &prcfg, sched, ws, obs)
+                        }
+                    }
                 }
-            }
-        }));
-        let (stats, status) = match attempt {
-            Ok(Ok(stats)) if stats.converged || pr.max_iters == 0 => (stats, WindowStatus::Ok),
-            Ok(Ok(stats)) => (
-                stats,
-                WindowStatus::Failed {
-                    diagnostic: format!("did not converge within {} iterations", pr.max_iters),
-                },
-            ),
-            Ok(Err(e)) => (
-                PrStats::empty(),
-                WindowStatus::Failed {
-                    diagnostic: e.to_string(),
-                },
-            ),
-            Err(_) => {
-                ws = PrWorkspace::default();
-                (
-                    PrStats::empty(),
-                    WindowStatus::Failed {
-                        diagnostic: "kernel panicked".to_string(),
-                    },
+            };
+            let oracle = || {
+                let events = log.slice_by_time(range.start, range.end);
+                oracle_from_events(
+                    n,
+                    events,
+                    true,
+                    range,
+                    &cfg.pr,
+                    cfg.recovery.max_oracle_active,
                 )
-            }
+            };
+            executor.drive(w as u32, was_partial, n, kernel, oracle)
         };
-        let (kind, counter) = match &status {
-            WindowStatus::Ok => (TraceKind::WindowOk, "windows.ok"),
-            WindowStatus::Recovered { .. } => (TraceKind::WindowRecovered, "windows.recovered"),
-            WindowStatus::Failed { .. } => (TraceKind::WindowFailed, "windows.failed"),
+        let valid = status.is_valid();
+        if !valid {
+            ws = PrWorkspace::default();
+        }
+        let local: &[f64] = match &override_ranks {
+            Some(x) => x,
+            None => ws.ranks(),
         };
-        tele.add(counter, 1);
-        tele.observe("window.iterations", stats.iterations as f64);
-        tele.record(TraceEvent::marker(TraceKind::WindowStart, w as u32, 1, 0));
-        tele.record(TraceEvent::marker(
-            kind,
-            w as u32,
-            1,
-            stats.iterations as u32,
-        ));
-        let sparse = if status.is_valid() {
-            prev.copy_from_slice(ws.ranks());
+        let output = executor.finalize(w, None, stats, local, status, attempts);
+        // The next window warm-starts from this window's *final* ranks —
+        // including oracle-recovered ones — or cold-starts after a failure.
+        if valid {
+            prev.copy_from_slice(local);
             have_prev = true;
-            SparseRanks::from_dense(ws.ranks())
         } else {
             have_prev = false;
-            SparseRanks::from_dense(&[])
-        };
-        let fingerprint = sparse.fingerprint();
-        windows.push(WindowOutput {
-            window: w,
-            stats,
-            fingerprint,
-            status,
-            ranks: match cfg.retain {
-                RetainMode::Full => Some(sparse),
-                RetainMode::Summary => None,
-            },
-            attempts: 1,
-        });
-    }
-    tele.set_gauge("memory.stream_bytes", graph.memory_bytes() as f64);
+        }
+        output
+    });
+    tele.set_gauge("memory.stream_bytes", source.graph.memory_bytes() as f64);
     RunOutput {
         windows,
         degraded: false, // recomputed by finalize_status

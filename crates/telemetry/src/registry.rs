@@ -30,16 +30,20 @@ pub enum Phase {
     ConvergenceCheck,
     /// Recovery ladder work: full-init retries, dense oracle, cold restarts.
     Recovery,
+    /// Time the pipelined executor spent waiting for an overlapped
+    /// window-setup prefetch that had not finished when the kernel did.
+    PipelineStall,
 }
 
 impl Phase {
     /// All phases, in reporting order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Build,
         Phase::WindowSetup,
         Phase::Spmv,
         Phase::ConvergenceCheck,
         Phase::Recovery,
+        Phase::PipelineStall,
     ];
 
     /// Number of phases.
@@ -53,6 +57,7 @@ impl Phase {
             Phase::Spmv => "spmv",
             Phase::ConvergenceCheck => "convergence_check",
             Phase::Recovery => "recovery",
+            Phase::PipelineStall => "pipeline_stall",
         }
     }
 
@@ -63,6 +68,7 @@ impl Phase {
             Phase::Spmv => 2,
             Phase::ConvergenceCheck => 3,
             Phase::Recovery => 4,
+            Phase::PipelineStall => 5,
         }
     }
 }
@@ -295,7 +301,8 @@ mod tests {
                 "window_setup",
                 "spmv",
                 "convergence_check",
-                "recovery"
+                "recovery",
+                "pipeline_stall"
             ]
         );
     }

@@ -59,15 +59,18 @@ pub use tempopr_telemetry as telemetry;
 pub mod prelude {
     pub use tempopr_analytics::{temporal_structure, StructureConfig, StructureSummary};
     pub use tempopr_core::{
-        run_offline, suggest, EngineError, FaultPlan, KernelKind, OfflineConfig, ParallelMode,
-        PostmortemConfig, PostmortemEngine, RecoveryKind, RetainMode, RunOutput, SparseRanks,
-        WindowFault, WindowOutput, WindowStatus,
+        run_offline, run_offline_traced, suggest, EngineError, FaultPlan, KernelKind,
+        OfflineConfig, ParallelMode, PostmortemConfig, PostmortemEngine, RecoveryKind,
+        RecoveryPolicy, RetainMode, RunOutput, SparseRanks, WindowFault, WindowOutput,
+        WindowStatus,
     };
     pub use tempopr_datagen::{Dataset, DatasetSpec, DAY};
     pub use tempopr_graph::{Event, EventLog, IngestReport, ParseMode, TimeRange, WindowSpec};
     pub use tempopr_kernel::{
         FaultKind, GuardConfig, Init, NumericPolicy, Partitioner, PrConfig, Scheduler,
     };
-    pub use tempopr_stream::{run_streaming, IncrementalMode, StreamingConfig};
+    pub use tempopr_stream::{
+        run_streaming, run_streaming_traced, IncrementalMode, StreamingConfig,
+    };
     pub use tempopr_telemetry::{RunReport, Telemetry};
 }

@@ -315,6 +315,137 @@ fn healthy_ranks_bit_identical_with_guards_on_and_off() {
     }
 }
 
+// --- Cross-driver parity: one exec layer, one failure story ---------------
+//
+// The recovery ladder, panic isolation, and status classification live in
+// exactly one place (`tempopr::core::exec`), so the same events and the
+// same fault plan must yield the same per-window status sequence, the same
+// attempt counts, and the same recovery-rung counters through all three
+// drivers when they run the same policy.
+
+/// Runs the same log + fault plan through all three drivers with the full
+/// recovery ladder enabled, each under an enabled telemetry sink, and
+/// returns `(driver name, output, report)` triples.
+fn parity_runs(fault: FaultKind, faulted: usize) -> Vec<(&'static str, RunOutput, RunReport)> {
+    let log = skewed_log();
+    let spec = spec_for(&log);
+    let plan = FaultPlan::single(faulted, fault);
+
+    // Postmortem: cold sequential SpMV so `was_partial` is false for every
+    // window, matching the other two drivers' attempt sequences.
+    let pm_tele = Telemetry::enabled();
+    let pm_cfg = PostmortemConfig {
+        kernel: KernelKind::SpMV,
+        mode: ParallelMode::Sequential,
+        pr: tight_pr(),
+        num_multiwindows: 1,
+        partial_init: false,
+        faults: plan.clone(),
+        ..Default::default()
+    };
+    let engine =
+        tempopr::core::PostmortemEngine::with_telemetry(&log, spec, pm_cfg, pm_tele).unwrap();
+    let pm_out = engine.run();
+    let pm_report = engine.telemetry().report();
+
+    let off_tele = Telemetry::enabled();
+    let off_cfg = OfflineConfig {
+        pr: tight_pr(),
+        faults: plan.clone(),
+        recovery: RecoveryPolicy::ladder(),
+        ..Default::default()
+    };
+    let off_out = run_offline_traced(&log, spec, &off_cfg, &off_tele).unwrap();
+
+    let st_tele = Telemetry::enabled();
+    let st_cfg = StreamingConfig {
+        pr: tight_pr(),
+        incremental: IncrementalMode::Recompute,
+        faults: plan,
+        recovery: RecoveryPolicy::ladder(),
+        ..Default::default()
+    };
+    let st_out = run_streaming_traced(&log, spec, &st_cfg, &st_tele).unwrap();
+
+    vec![
+        ("postmortem", pm_out, pm_report),
+        ("offline", off_out, off_tele.report()),
+        ("streaming", st_out, st_tele.report()),
+    ]
+}
+
+#[test]
+fn drivers_agree_on_oracle_recovery() {
+    let runs = parity_runs(FaultKind::ForceNonConvergence, 2);
+    for (name, out, report) in &runs {
+        assert!(!out.degraded, "{name}: oracle recovery must not degrade");
+        for w in &out.windows {
+            if w.window == 2 {
+                assert_eq!(
+                    w.status,
+                    WindowStatus::Recovered {
+                        via: RecoveryKind::DenseOracle
+                    },
+                    "{name}"
+                );
+                assert_eq!(w.attempts, 3, "{name}: ladder must reach rung 3");
+            } else {
+                assert_eq!(w.status, WindowStatus::Ok, "{name} window {}", w.window);
+                assert_eq!(w.attempts, 1, "{name} window {}", w.window);
+            }
+        }
+        // Every cold driver walks the identical ladder: the full-init rung
+        // is skipped (nothing was warm-started), the oracle fires once.
+        assert_eq!(report.counter("recovery.full_init_retry"), 0, "{name}");
+        assert_eq!(report.counter("recovery.dense_oracle"), 1, "{name}");
+        assert_eq!(report.counter("windows.recovered"), 1, "{name}");
+    }
+    // The oracle solves Eq. 2 exactly from the same events regardless of
+    // driver, so even the recovered window's ranks agree across drivers.
+    let (_, reference, _) = &runs[0];
+    for (name, out, _) in &runs[1..] {
+        for (a, b) in reference.windows.iter().zip(out.windows.iter()) {
+            let d = a
+                .ranks
+                .as_ref()
+                .unwrap()
+                .linf_distance(b.ranks.as_ref().unwrap());
+            assert!(
+                d < 1e-8,
+                "postmortem vs {name}, window {}: linf {d}",
+                a.window
+            );
+        }
+    }
+}
+
+#[test]
+fn drivers_agree_on_panic_containment() {
+    for (name, out, report) in parity_runs(FaultKind::PanicInKernel, 2) {
+        assert!(out.degraded, "{name}: a panicked window must degrade");
+        assert_eq!(out.failed_windows(), vec![2], "{name}");
+        let w = &out.windows[2];
+        match &w.status {
+            WindowStatus::Failed { diagnostic } => assert!(
+                diagnostic.contains("panic"),
+                "{name}: diagnostic {diagnostic:?}"
+            ),
+            other => panic!("{name}: expected Failed, got {other:?}"),
+        }
+        // A panic is terminal on attempt 1 — no recovery rung may run on a
+        // workspace that is no longer trustworthy.
+        assert_eq!(w.attempts, 1, "{name}");
+        assert_eq!(report.counter("recovery.full_init_retry"), 0, "{name}");
+        assert_eq!(report.counter("recovery.dense_oracle"), 0, "{name}");
+        assert_eq!(report.counter("windows.failed"), 1, "{name}");
+        for w in &out.windows {
+            if w.window != 2 {
+                assert_eq!(w.status, WindowStatus::Ok, "{name} window {}", w.window);
+            }
+        }
+    }
+}
+
 #[test]
 fn empty_fault_plan_is_a_noop() {
     let log = skewed_log();
