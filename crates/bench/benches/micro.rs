@@ -10,8 +10,9 @@ use tempopr_core::TelemetryKernelBridge;
 use tempopr_datagen::Dataset;
 use tempopr_graph::{Csr, TemporalCsr, TimeRange, WindowIndex};
 use tempopr_kernel::{
-    pagerank_window, pagerank_window_indexed, pagerank_window_obs, GuardConfig, Init, Obs,
-    PrConfig, PrWorkspace,
+    pagerank_batch, pagerank_window, pagerank_window_indexed, pagerank_window_obs, Balance,
+    GuardConfig, Init, Obs, Partitioner, PrConfig, PrWorkspace, Scheduler, SimdPolicy,
+    SpmmWorkspace,
 };
 use tempopr_stream::StreamingGraph;
 use tempopr_telemetry::Telemetry;
@@ -238,6 +239,74 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+
+    // --- spmm_inner: dense dispatch vs the pre-vectorization mask walk ---
+    // Identical windows in every lane make each stored run live in all
+    // lanes, so the inner loop takes the dense full-mask accumulate
+    // (runtime-dispatched AVX2, or the unrolled scalar fallback) on every
+    // neighbor — the case the dispatch targets. Compaction is off in both
+    // arms so the inner loop is the only variable.
+    let mut sws = SpmmWorkspace::default();
+    for vl in [8usize, 16, 32] {
+        let ranges = vec![bench_window; vl];
+        let inits = vec![Init::Uniform; vl];
+        for (name, simd) in [
+            ("bitwalk", SimdPolicy::BitWalk),
+            ("dense", SimdPolicy::Auto),
+        ] {
+            let cfg = PrConfig {
+                simd,
+                compaction: false,
+                ..PrConfig::default()
+            };
+            g.bench_function(format!("spmm_inner_vl{vl}/{name}"), |b| {
+                b.iter(|| pagerank_batch(&tcsr, &tcsr, &ranges, &inits, &cfg, None, &mut sws))
+            });
+        }
+    }
+
+    // --- spmm_compaction: converged-lane repacking -----------------------
+    // Staggered window sizes converge at very different iterations; with
+    // compaction on, the batch repacks x/inv_deg/masks to a smaller
+    // effective vl as lanes finish instead of dragging dead columns
+    // through every remaining row.
+    let staggered: Vec<TimeRange> = (0..16i64)
+        .map(|k| TimeRange::new(window.start, window.start + (span / 64) * (k + 1)))
+        .collect();
+    let stag_inits = vec![Init::Uniform; staggered.len()];
+    for (name, compaction) in [("off", false), ("on", true)] {
+        let cfg = PrConfig {
+            compaction,
+            ..PrConfig::default()
+        };
+        g.bench_function(format!("spmm_compaction/{name}"), |b| {
+            b.iter(|| pagerank_batch(&tcsr, &tcsr, &staggered, &stag_inits, &cfg, None, &mut sws))
+        });
+    }
+
+    // --- spmm_balance: vertex- vs edge-balanced parallel chunks ----------
+    // wiki-talk's degree distribution is heavily skewed, so equal-row
+    // static chunks hand one thread the hubs; degree-weighted boundaries
+    // equalize the enclosed work instead.
+    let bal_ranges = vec![bench_window; 16];
+    let bal_inits = vec![Init::Uniform; 16];
+    for (name, balance) in [("vertex", Balance::Vertex), ("edge", Balance::Edge)] {
+        let sched = Scheduler::new(Partitioner::Static, 1).with_balance(balance);
+        let cfg = PrConfig::default();
+        g.bench_function(format!("spmm_balance/{name}"), |b| {
+            b.iter(|| {
+                pagerank_batch(
+                    &tcsr,
+                    &tcsr,
+                    &bal_ranges,
+                    &bal_inits,
+                    &cfg,
+                    Some(&sched),
+                    &mut sws,
+                )
+            })
+        });
+    }
 
     g.finish();
 }

@@ -7,7 +7,7 @@ use tempopr_core::{
 };
 use tempopr_datagen::Dataset;
 use tempopr_graph::{EventLog, WindowSpec};
-use tempopr_kernel::PrConfig;
+use tempopr_kernel::{Balance, PrConfig, SimdPolicy};
 use tempopr_stream::{run_streaming, StreamingConfig};
 use tempopr_telemetry::Telemetry;
 
@@ -44,6 +44,15 @@ pub struct Opts {
     /// Overlap the next part's window-index build with the current
     /// window's kernel in the postmortem runs (in-order walks only).
     pub pipeline: bool,
+    /// SpMM inner-loop implementation (`--simd auto|scalar|bitwalk`);
+    /// ablation axis for the vectorized hot path.
+    pub simd: SimdPolicy,
+    /// Disable converged-lane compaction (`--no-compaction`); ablation
+    /// axis.
+    pub compaction: bool,
+    /// Edge-balanced parallel chunks (`--edge-balance`); applied to every
+    /// scheduler an experiment constructs.
+    pub edge_balance: bool,
 }
 
 impl Default for Opts {
@@ -55,6 +64,9 @@ impl Default for Opts {
             max_windows: 0,
             metrics_out: None,
             pipeline: false,
+            simd: SimdPolicy::Auto,
+            compaction: true,
+            edge_balance: false,
         }
     }
 }
@@ -156,6 +168,12 @@ pub fn time_postmortem_traced(
     cfg.threads = opts.threads;
     cfg.pr = pr_config();
     cfg.pipeline = cfg.pipeline || opts.pipeline;
+    // Ablation axes land after the pr_config() reset so they survive it.
+    cfg.pr.simd = opts.simd;
+    cfg.pr.compaction = opts.compaction;
+    if opts.edge_balance {
+        cfg.scheduler = cfg.scheduler.with_balance(Balance::Edge);
+    }
     let (out, d) = time(|| {
         let engine = PostmortemEngine::with_telemetry(log, spec, cfg, tele)
             .unwrap_or_else(|e| fail(format!("engine build: {e}")));

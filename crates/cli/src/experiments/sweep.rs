@@ -60,12 +60,15 @@ pub fn fig10() -> SweepParams {
 pub fn run(p: SweepParams, opts: &Opts) {
     let (log, spec) = workload_with_count(Dataset::WikiTalk, p.sw, p.delta, p.windows, opts);
     println!(
-        "# Figure {}: wiki-talk sweep, sw={}, delta={}d, windows={} (scale = {})",
+        "# Figure {}: wiki-talk sweep, sw={}, delta={}d, windows={} (scale = {}, simd = {:?}, compaction = {}, balance = {})",
         p.figure,
         p.sw,
         p.delta / DAY,
         spec.count,
-        opts.scale
+        opts.scale,
+        opts.simd,
+        opts.compaction,
+        if opts.edge_balance { "edge" } else { "vertex" }
     );
     let (_, t_str) = time_streaming(&log, spec, opts);
     println!("# streaming baseline: {:.3}s", t_str.as_secs_f64());

@@ -182,6 +182,23 @@ fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), Str
                 opts.pipeline = true;
                 i += 1;
             }
+            "--simd" => {
+                opts.simd = match value(i)?.as_str() {
+                    "auto" => tempopr_kernel::SimdPolicy::Auto,
+                    "scalar" => tempopr_kernel::SimdPolicy::Scalar,
+                    "bitwalk" => tempopr_kernel::SimdPolicy::BitWalk,
+                    other => return Err(format!("bad --simd '{other}' (auto|scalar|bitwalk)")),
+                };
+                i += 2;
+            }
+            "--no-compaction" => {
+                opts.compaction = false;
+                i += 1;
+            }
+            "--edge-balance" => {
+                opts.edge_balance = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -212,7 +229,13 @@ fn print_help() {
          --metrics-out  write run telemetry JSON (fig5 also prints a \
          phase breakdown)\n\
          --pipeline   overlap the next part's window-index build with the \
-         current window's kernel (postmortem runs)"
+         current window's kernel (postmortem runs)\n\
+         --simd       SpMM inner loop: auto (detect, default) | scalar | \
+         bitwalk (pre-vectorization mask walk)\n\
+         --no-compaction  disable converged-lane compaction in the SpMM \
+         kernel\n\
+         --edge-balance   edge-balanced parallel chunks (degree-weighted \
+         boundaries) instead of vertex-balanced"
     );
 }
 
@@ -251,6 +274,24 @@ mod tests {
     fn pipeline_flag_parses() {
         let (opts, _, _) = flags(&["--pipeline"]).unwrap();
         assert!(opts.pipeline);
+    }
+
+    #[test]
+    fn simd_ablation_flags_parse() {
+        use tempopr_kernel::SimdPolicy;
+        let (opts, _, _) = flags(&[]).unwrap();
+        assert_eq!(opts.simd, SimdPolicy::Auto);
+        assert!(opts.compaction);
+        assert!(!opts.edge_balance);
+        let (opts, _, _) =
+            flags(&["--simd", "bitwalk", "--no-compaction", "--edge-balance"]).unwrap();
+        assert_eq!(opts.simd, SimdPolicy::BitWalk);
+        assert!(!opts.compaction);
+        assert!(opts.edge_balance);
+        let (opts, _, _) = flags(&["--simd", "scalar"]).unwrap();
+        assert_eq!(opts.simd, SimdPolicy::Scalar);
+        assert!(flags(&["--simd", "avx512"]).is_err(), "unknown simd value");
+        assert!(flags(&["--simd"]).is_err(), "missing simd value");
     }
 
     #[test]

@@ -455,6 +455,10 @@ impl PostmortemEngine {
         let mut prev: Vec<Option<Vec<f64>>> = vec![None; vl];
         let mut ws = SpmmWorkspace::default();
         let mut pr_ws = PrWorkspace::default();
+        // One deinterleave buffer for the whole partition: every converged
+        // lane is copied out through it instead of allocating a fresh
+        // vector per lane per batch.
+        let mut lane_buf: Vec<f64> = Vec::new();
         let mut out: Vec<WindowOutput> = Vec::with_capacity(nw);
         for j in 0..region {
             // Lane r handles part-local window r*region + j, if it exists.
@@ -542,14 +546,23 @@ impl PostmortemEngine {
             let nlanes = clean.len();
             match batch {
                 Ok(Ok(stats)) => {
+                    lane_buf.resize(ws.x.len() / nlanes, 0.0);
                     for (i, &lw) in clean.iter().enumerate() {
                         let w = w0 + lw;
                         let st = stats[i];
                         if st.converged || self.cfg.pr.max_iters == 0 {
                             let status = classify_converged(&st);
-                            let lane = ws.lane(i, nlanes);
-                            out.push(self.make_output(w, part, st, &lane, status, 1));
-                            prev[lw / region] = Some(lane);
+                            ws.copy_lane_into(i, nlanes, &mut lane_buf);
+                            out.push(self.make_output(w, part, st, &lane_buf, status, 1));
+                            // Reuse the warm-start slot's allocation when
+                            // its length already matches.
+                            let slot = &mut prev[lw / region];
+                            match slot {
+                                Some(p) if p.len() == lane_buf.len() => {
+                                    p.copy_from_slice(&lane_buf);
+                                }
+                                _ => *slot = Some(lane_buf.clone()),
+                            }
                         } else {
                             // Per-lane escalation: recompute this window
                             // alone through the recovery ladder.

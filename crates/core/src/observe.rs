@@ -78,14 +78,42 @@ impl KernelObserver for TelemetryKernelBridge<'_> {
         _iteration: u32,
         lanes_live: u32,
         lanes_total: u32,
+        edges: u64,
         spmv_ns: u64,
         check_ns: u64,
     ) {
         self.tele.add_phase_ns(Phase::Spmv, spmv_ns);
         self.tele.add_phase_ns(Phase::ConvergenceCheck, check_ns);
         self.tele.add("spmm.rounds", 1);
+        self.tele.add("spmm.edges_processed", edges);
         self.tele.observe("spmm.lanes_live", f64::from(lanes_live));
         self.tele.set_gauge("spmm.lanes", f64::from(lanes_total));
+    }
+
+    fn on_batch_dispatch(&self, isa: &'static str, lanes: u32) {
+        // Counters and gauges never enter the deterministic trace
+        // projection, so this machine-dependent value cannot perturb the
+        // golden-trace tests.
+        let code = match isa {
+            "bitwalk" => 0.0,
+            "scalar" => 1.0,
+            _ => 2.0, // avx2 (and any wider future ISA)
+        };
+        self.tele.set_gauge("kernel.isa", code);
+        match isa {
+            "bitwalk" => self.tele.add("kernel.isa.bitwalk", 1),
+            "scalar" => self.tele.add("kernel.isa.scalar", 1),
+            _ => self.tele.add("kernel.isa.avx2", 1),
+        }
+        self.tele.observe("spmm.batch_lanes", f64::from(lanes));
+    }
+
+    fn on_batch_compaction(&self, from_lanes: u32, to_lanes: u32) {
+        self.tele.add("spmm.compactions", 1);
+        self.tele.add(
+            "spmm.lanes_compacted",
+            u64::from(from_lanes.saturating_sub(to_lanes)),
+        );
     }
 }
 
@@ -100,11 +128,17 @@ mod tests {
         b.on_setup(3, 17, 500);
         b.on_iteration(3, 1, 0.25, 1.0, 100, 50);
         b.on_guard(3, 1, true);
-        b.on_batch_round(1, 2, 4, 10, 5);
+        b.on_batch_round(1, 2, 4, 120, 10, 5);
+        b.on_batch_dispatch("avx2", 4);
+        b.on_batch_compaction(4, 1);
         let report = tele.report();
         assert_eq!(report.counter("iterations.total"), 1);
         assert_eq!(report.counter("guard.restart"), 1);
         assert_eq!(report.counter("spmm.rounds"), 1);
+        assert_eq!(report.counter("spmm.edges_processed"), 120);
+        assert_eq!(report.counter("kernel.isa.avx2"), 1);
+        assert_eq!(report.counter("spmm.compactions"), 1);
+        assert_eq!(report.counter("spmm.lanes_compacted"), 3);
         assert_eq!(report.phase_ns(Phase::WindowSetup), 500);
         assert_eq!(report.phase_ns(Phase::Spmv), 110);
         assert_eq!(report.phase_ns(Phase::ConvergenceCheck), 55);

@@ -52,17 +52,32 @@ pub trait KernelObserver: Sync {
         let _ = (window, iteration, restart);
     }
 
-    /// One SpMM round finished: how many lanes were still live, and the
-    /// round's propagation/check wall time (shared by all lanes).
+    /// One SpMM round finished: how many lanes were still live, how many
+    /// run entries the propagation pass walked (`edges`), and the round's
+    /// propagation/check wall time (shared by all lanes).
     fn on_batch_round(
         &self,
         iteration: u32,
         lanes_live: u32,
         lanes_total: u32,
+        edges: u64,
         spmv_ns: u64,
         check_ns: u64,
     ) {
-        let _ = (iteration, lanes_live, lanes_total, spmv_ns, check_ns);
+        let _ = (iteration, lanes_live, lanes_total, edges, spmv_ns, check_ns);
+    }
+
+    /// The batched kernel resolved its inner-loop implementation for a
+    /// batch of `lanes` windows (`isa` is `"avx2"`, `"scalar"`, or
+    /// `"bitwalk"` — see `tempopr_kernel::simd`).
+    fn on_batch_dispatch(&self, isa: &'static str, lanes: u32) {
+        let _ = (isa, lanes);
+    }
+
+    /// Converged-lane compaction repacked the batch from `from_lanes` to
+    /// `to_lanes` effective lanes.
+    fn on_batch_compaction(&self, from_lanes: u32, to_lanes: u32) {
+        let _ = (from_lanes, to_lanes);
     }
 }
 
@@ -203,12 +218,14 @@ impl<'a> BatchObs<'a> {
         }
     }
 
-    /// Reports one round's timing and live-lane count.
+    /// Reports one round's timing, live-lane count, and edge work.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn round(
         &self,
         iteration: usize,
         lanes_live: u32,
         lanes_total: usize,
+        edges: u64,
         t0: Option<Instant>,
         t_mid: Option<Instant>,
     ) {
@@ -221,9 +238,24 @@ impl<'a> BatchObs<'a> {
                 iteration as u32,
                 lanes_live,
                 lanes_total as u32,
+                edges,
                 spmv_ns,
                 check_ns,
             );
+        }
+    }
+
+    /// Reports the batch's resolved inner-loop implementation.
+    pub(crate) fn dispatch(&self, isa: &'static str, lanes: usize) {
+        if let Some(sink) = self.sink {
+            sink.on_batch_dispatch(isa, lanes as u32);
+        }
+    }
+
+    /// Reports a converged-lane compaction.
+    pub(crate) fn compaction(&self, from_lanes: usize, to_lanes: usize) {
+        if let Some(sink) = self.sink {
+            sink.on_batch_compaction(from_lanes as u32, to_lanes as u32);
         }
     }
 
@@ -272,6 +304,24 @@ mod tests {
                 .unwrap()
                 .push(format!("guard w{window} i{it} restart={restart}"));
         }
+        fn on_batch_round(&self, it: u32, live: u32, total: u32, edges: u64, _s: u64, _c: u64) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("round i{it} live{live}/{total} e{edges}"));
+        }
+        fn on_batch_dispatch(&self, isa: &'static str, lanes: u32) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("dispatch {isa} l{lanes}"));
+        }
+        fn on_batch_compaction(&self, from: u32, to: u32) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("compact {from}->{to}"));
+        }
     }
 
     #[test]
@@ -285,7 +335,9 @@ mod tests {
         let b = BatchObs::off();
         assert!(!b.is_on());
         b.setup(&[1, 2], None);
-        b.round(1, 2, 2, None, None);
+        b.round(1, 2, 2, 10, None, None);
+        b.dispatch("scalar", 2);
+        b.compaction(2, 1);
         b.lane_iteration(0, 1, 0.5, 1.0);
         b.lane_guard(1, 1, false);
     }
@@ -329,5 +381,19 @@ mod tests {
         );
         // Out-of-range lane falls back to the lane index.
         assert_eq!(b.lane_window(5), 5);
+    }
+
+    #[test]
+    fn batch_obs_forwards_dispatch_round_and_compaction() {
+        let rec = Recorder::default();
+        let b = BatchObs::new(&rec, &[]);
+        b.dispatch("avx2", 8);
+        b.round(2, 5, 8, 1234, None, None);
+        b.compaction(8, 3);
+        let got = rec.events.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec!["dispatch avx2 l8", "round i2 live5/8 e1234", "compact 8->3"]
+        );
     }
 }

@@ -32,6 +32,7 @@
 use crate::error::{FaultKind, KernelError, NumericFault};
 use crate::observe::Obs;
 use crate::scheduler::Scheduler;
+use crate::simd::SimdPolicy;
 use tempopr_graph::{Csr, TemporalCsr, TimeRange, VertexId, WindowIndexView};
 
 /// What to do when a numeric-health guard trips (NaN/Inf in the iterate or
@@ -115,6 +116,15 @@ pub struct PrConfig {
     /// Deterministic fault to inject into this invocation (testing only;
     /// `None`, the default, costs one predictable branch per iteration).
     pub fault: Option<FaultKind>,
+    /// Inner-loop implementation for the batched (SpMM) kernel: runtime
+    /// ISA dispatch by default, forceable to the portable scalar path or
+    /// the pre-vectorization mask walk (see [`crate::simd`]). Ranks are
+    /// bit-identical under every policy; SpMV kernels ignore this.
+    pub simd: SimdPolicy,
+    /// Repack converged lanes out of the batched iteration so late rounds
+    /// stop paying for dead lanes (see [`crate::spmm`]). Bit-identical on
+    /// or off; SpMV kernels ignore this.
+    pub compaction: bool,
 }
 
 impl Default for PrConfig {
@@ -125,6 +135,8 @@ impl Default for PrConfig {
             max_iters: 100,
             guard: GuardConfig::default(),
             fault: None,
+            simd: SimdPolicy::Auto,
+            compaction: true,
         }
     }
 }

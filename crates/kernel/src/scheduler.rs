@@ -36,6 +36,25 @@ pub enum Partitioner {
     Static,
 }
 
+/// How chunk boundaries weigh the work they enclose.
+///
+/// Vertex-balanced chunks give every task the same number of *rows*; on
+/// skewed (power-law) graphs a task that draws the hub vertices owns far
+/// more edge work than its siblings and the whole pass waits on it.
+/// Edge-balanced chunks place the same number of boundaries at ~equal
+/// cumulative *edge* positions instead (prefix sum over the adjacency
+/// offsets), which is the imbalance fix the paper's §4.3 partitioner study
+/// is sensitive to. Only loops that supply a weight prefix (the SpMM
+/// kernel) honor this; unweighted loops always split by index count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Balance {
+    /// Equal index (vertex) counts per chunk.
+    #[default]
+    Vertex,
+    /// Equal cumulative weight (edge work) per chunk.
+    Edge,
+}
+
 /// A partitioner plus grain size ("WS granularity size" in Figs. 7-10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scheduler {
@@ -44,6 +63,8 @@ pub struct Scheduler {
     /// Grain size: the minimum number of consecutive indices a task
     /// processes (clamped to at least 1).
     pub granularity: usize,
+    /// How weighted loops place their chunk boundaries.
+    pub balance: Balance,
 }
 
 impl Default for Scheduler {
@@ -51,6 +72,7 @@ impl Default for Scheduler {
         Scheduler {
             partitioner: Partitioner::Auto,
             granularity: 1,
+            balance: Balance::Vertex,
         }
     }
 }
@@ -61,7 +83,14 @@ impl Scheduler {
         Scheduler {
             partitioner,
             granularity: granularity.max(1),
+            balance: Balance::Vertex,
         }
+    }
+
+    /// This scheduler with a different [`Balance`].
+    pub fn with_balance(mut self, balance: Balance) -> Self {
+        self.balance = balance;
+        self
     }
 
     /// The chunk boundaries this scheduler would use for `n` items: one
@@ -82,6 +111,45 @@ impl Scheduler {
             out.push(lo..hi);
             lo = hi;
         }
+        out
+    }
+
+    /// Degree-weighted chunk boundaries: the same *number* of chunks as
+    /// [`Scheduler::chunks`] would produce for `prefix.len() - 1` items,
+    /// but with boundaries placed at ~equal cumulative weight, so each
+    /// task owns about the same amount of enclosed work instead of the
+    /// same item count.
+    ///
+    /// `prefix` is a non-decreasing prefix sum with `prefix[i]` the total
+    /// weight of items `0..i` (so `prefix` has one more entry than there
+    /// are items). Every chunk is non-empty and the chunks exactly cover
+    /// `0..n`; with a constant per-item weight this degenerates to the
+    /// unweighted chunking's balance (boundaries may shift by at most a
+    /// rounding row). All-zero weights fall back to unweighted chunks.
+    pub fn chunks_weighted(&self, prefix: &[usize]) -> Vec<Range<usize>> {
+        let n = prefix.len().saturating_sub(1);
+        if n == 0 {
+            return Vec::new();
+        }
+        let total = prefix[n] - prefix[0];
+        let k = self.chunks(n).len();
+        if k <= 1 || total == 0 {
+            return self.chunks(n);
+        }
+        let mut out = Vec::with_capacity(k);
+        let mut lo = 0usize;
+        for i in 1..k {
+            // Ideal boundary: cumulative weight i/k of the total. u128
+            // keeps `total * i` exact for any realistic edge count.
+            let target = prefix[0] + ((total as u128 * i as u128) / k as u128) as usize;
+            let cut = prefix.partition_point(|&p| p < target);
+            // Clamp so every chunk (including the ones still to come)
+            // keeps at least one item.
+            let cut = cut.clamp(lo + 1, n - (k - i));
+            out.push(lo..cut);
+            lo = cut;
+        }
+        out.push(lo..n);
         out
     }
 
@@ -204,21 +272,49 @@ impl Scheduler {
             width > 0 && data.len().is_multiple_of(width),
             "non-rectangular data"
         );
+        let chunks = self.chunks(data.len() / width);
+        self.map_reduce_rows_chunked_mut(data, width, &chunks, identity, map, reduce)
+    }
+
+    /// [`Scheduler::map_reduce_rows_mut`] with caller-supplied chunk
+    /// boundaries (e.g. from [`Scheduler::chunks_weighted`], which is how
+    /// the SpMM kernel gets edge-balanced tasks). `chunks` must be
+    /// non-empty ranges exactly covering `0..rows` in order — the shape
+    /// [`Scheduler::chunks`]/[`Scheduler::chunks_weighted`] produce.
+    pub fn map_reduce_rows_chunked_mut<T, A, M, R>(
+        &self,
+        data: &mut [T],
+        width: usize,
+        chunks: &[Range<usize>],
+        identity: A,
+        map: M,
+        reduce: R,
+    ) -> A
+    where
+        T: Send,
+        A: Send + Sync + Clone,
+        M: Fn(usize, &mut [T]) -> A + Sync,
+        R: Fn(A, A) -> A + Sync + Send,
+    {
+        assert!(
+            width > 0 && data.len().is_multiple_of(width),
+            "non-rectangular data"
+        );
         let rows = data.len() / width;
         if rows == 0 {
             return identity;
         }
-        let chunks = self.chunks(rows);
         let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks.len());
         let mut rest = data;
         let mut row = 0usize;
-        for c in &chunks {
-            debug_assert_eq!(c.start, row);
+        for c in chunks {
+            assert!(c.start == row && c.end > c.start, "chunks must tile rows");
             let (head, tail) = rest.split_at_mut(c.len() * width);
             parts.push((row, head));
             rest = tail;
             row = c.end;
         }
+        assert_eq!(row, rows, "chunks must cover every row");
         let iter = parts.into_par_iter();
         match self.partitioner {
             Partitioner::Auto => iter
@@ -432,6 +528,129 @@ mod tests {
                 assert_eq!(x, i / width);
             }
         }
+    }
+
+    /// Prefix sum of `weights` with a leading 0.
+    fn prefix_of(weights: &[usize]) -> Vec<usize> {
+        let mut p = Vec::with_capacity(weights.len() + 1);
+        p.push(0);
+        let mut acc = 0;
+        for &w in weights {
+            acc += w;
+            p.push(acc);
+        }
+        p
+    }
+
+    #[test]
+    fn weighted_chunks_tile_and_match_unweighted_count() {
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            for g in [1usize, 3, 8] {
+                let s = Scheduler::new(part, g);
+                // Heavy head: vertex-balanced chunks would overload task 0.
+                let weights: Vec<usize> = (0..30).map(|i| if i < 3 { 100 } else { 1 }).collect();
+                let prefix = prefix_of(&weights);
+                let chunks = s.chunks_weighted(&prefix);
+                assert_eq!(chunks.len(), s.chunks(30).len(), "{part:?} g={g}");
+                let mut next = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, next);
+                    assert!(c.end > c.start);
+                    next = c.end;
+                }
+                assert_eq!(next, 30);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_chunks_balance_edges_not_rows() {
+        // 4 hub rows with weight 50, then 46 rows of weight 1. With grain 5
+        // the unweighted plan holds all four hubs (200 of 246 total) in its
+        // first chunk; the weighted plan must spread them out.
+        let s = Scheduler::new(Partitioner::Simple, 5);
+        let weights: Vec<usize> = (0..50).map(|i| if i < 4 { 50 } else { 1 }).collect();
+        let prefix = prefix_of(&weights);
+        let chunks = s.chunks_weighted(&prefix);
+        let total: usize = weights.iter().sum();
+        let ideal = total / chunks.len();
+        let max_load = chunks
+            .iter()
+            .map(|c| prefix[c.end] - prefix[c.start])
+            .max()
+            .unwrap();
+        // Each chunk's load stays within one max item weight of ideal.
+        assert!(
+            max_load <= ideal + 50,
+            "max {max_load} vs ideal {ideal} over {} chunks",
+            chunks.len()
+        );
+        // And the hub rows did not all land in one chunk.
+        let hubs_in_first = chunks[0].clone().filter(|&r| r < 4).count();
+        assert!(hubs_in_first < 4, "hubs must be split across chunks");
+    }
+
+    #[test]
+    fn weighted_chunks_degenerate_cases() {
+        let s = Scheduler::new(Partitioner::Simple, 4);
+        assert!(s.chunks_weighted(&[0]).is_empty(), "no items");
+        assert!(s.chunks_weighted(&[]).is_empty(), "empty prefix");
+        // All-zero weights fall back to unweighted chunking.
+        assert_eq!(s.chunks_weighted(&[0, 0, 0, 0, 0, 0]), s.chunks(5));
+        // One chunk: everything in it.
+        assert_eq!(s.chunks_weighted(&[0, 1, 2, 3]), vec![0..3]);
+    }
+
+    #[test]
+    fn map_reduce_rows_chunked_matches_unchunked() {
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 2);
+            let width = 3;
+            let rows = 9;
+            let weights: Vec<usize> = (0..rows).map(|i| 1 + (i % 4) * 10).collect();
+            let prefix = prefix_of(&weights);
+            let chunks = s.chunks_weighted(&prefix);
+            let mut data = vec![0usize; rows * width];
+            let total = s.map_reduce_rows_chunked_mut(
+                &mut data,
+                width,
+                &chunks,
+                0usize,
+                |row0, slice| {
+                    let mut acc = 0;
+                    for (i, x) in slice.iter_mut().enumerate() {
+                        let row = row0 + i / width;
+                        *x = row;
+                        acc += row;
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(
+                total,
+                (0..rows).map(|r| r * width).sum::<usize>(),
+                "{part:?}"
+            );
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, i / width);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks must tile rows")]
+    fn map_reduce_rows_chunked_rejects_gaps() {
+        let s = Scheduler::default();
+        let mut data = vec![0u8; 12];
+        s.map_reduce_rows_chunked_mut(&mut data, 3, &[0..1, 2..4], (), |_, _| (), |_, _| ());
+    }
+
+    #[test]
+    fn with_balance_builder() {
+        let s = Scheduler::new(Partitioner::Auto, 4).with_balance(Balance::Edge);
+        assert_eq!(s.balance, Balance::Edge);
+        assert_eq!(Scheduler::default().balance, Balance::Vertex);
     }
 
     #[test]

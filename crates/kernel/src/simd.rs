@@ -1,0 +1,305 @@
+//! Runtime-dispatched inner loops for the batched (SpMM) kernel.
+//!
+//! The batched hot loop accumulates `acc[k] += x[u·vl+k] * inv_deg[u·vl+k]`
+//! over the lanes named by a per-run bitmask. When a run covers *every*
+//! live lane (`run_mask & live == live` — the dominant case once windows
+//! overlap), walking the mask bit by bit wastes the regular `vl`-wide
+//! stride the SpMM layout was built for. This module provides that dense
+//! full-width accumulate in three interchangeable implementations:
+//!
+//! - **avx2**: 4-wide `std::arch` double ops behind a runtime
+//!   `is_x86_feature_detected!("avx2")` check;
+//! - **scalar**: a portable 4-way unrolled loop (auto-vectorizes on most
+//!   targets);
+//! - **bitwalk**: no dense path at all — [`SimdDispatch::dense`] reports
+//!   `false` and the kernel keeps the pre-existing mask walk for every
+//!   run. This is the reference the parity tests compare against.
+//!
+//! # Bit-identity
+//!
+//! Every implementation performs, per lane, the same multiplies and adds
+//! in the same order as the scalar mask walk. The AVX2 path deliberately
+//! uses `_mm256_mul_pd` + `_mm256_add_pd` rather than a fused
+//! multiply-add: FMA rounds once where `acc += x * inv` rounds twice, and
+//! Rust never contracts separate `f64` ops on its own, so fusing would
+//! change low-order bits. Lanes are independent vector slots (no
+//! horizontal operations), so per-lane rounding matches the scalar loop
+//! exactly and ranks are bit-identical across all three implementations.
+//!
+//! # Selection
+//!
+//! [`SimdDispatch::select`] resolves a [`SimdPolicy`]: an explicit
+//! `Scalar`/`BitWalk` always wins; `Auto` defers to the `TEMPOPR_SIMD`
+//! environment variable (`scalar`, `bitwalk`, or `auto`; read once per
+//! process) and otherwise picks the best detected ISA. The `Avx2` variant
+//! is only constructible after detection succeeds, which is what makes the
+//! one `unsafe` call site below sound — and why this file is the only
+//! place in the crate allowed to contain `unsafe` at all (CI greps for
+//! it).
+
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// How the batched kernel's inner loop should be implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Detect at runtime: the `TEMPOPR_SIMD` environment variable if set,
+    /// otherwise the widest ISA the CPU supports (AVX2 on x86-64, the
+    /// portable unrolled loop elsewhere).
+    #[default]
+    Auto,
+    /// Force the portable unrolled scalar path (still uses the dense
+    /// full-mask specialization).
+    Scalar,
+    /// Disable the dense specialization entirely and walk every run's lane
+    /// bitmask — the pre-vectorization kernel, kept as the parity and
+    /// ablation baseline.
+    BitWalk,
+}
+
+/// The resolved inner-loop implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    BitWalk,
+    Scalar,
+    Avx2,
+}
+
+/// A resolved, ready-to-call dense accumulate. `Copy` so kernels can
+/// capture it in parallel closures for free; the AVX2 variant can only be
+/// obtained through [`SimdDispatch::select`] after feature detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdDispatch {
+    kind: Kind,
+}
+
+impl SimdDispatch {
+    /// Resolves `policy` against the environment override and the CPU.
+    pub fn select(policy: SimdPolicy) -> SimdDispatch {
+        let effective = match policy {
+            SimdPolicy::Auto => env_policy(),
+            explicit => explicit,
+        };
+        let kind = match effective {
+            SimdPolicy::Scalar => Kind::Scalar,
+            SimdPolicy::BitWalk => Kind::BitWalk,
+            SimdPolicy::Auto => detect(),
+        };
+        SimdDispatch { kind }
+    }
+
+    /// The selected implementation, for telemetry: `"avx2"`, `"scalar"`,
+    /// or `"bitwalk"`.
+    pub fn isa(&self) -> &'static str {
+        match self.kind {
+            Kind::BitWalk => "bitwalk",
+            Kind::Scalar => "scalar",
+            Kind::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether the kernel should take the dense full-mask path (false only
+    /// for [`SimdPolicy::BitWalk`]).
+    pub fn dense(&self) -> bool {
+        self.kind != Kind::BitWalk
+    }
+
+    /// `acc[k] += x[k] * inv[k]` for every `k` — the dense accumulate over
+    /// one neighbor's full lane stride. All three slices must have the
+    /// same length (the effective `vl`); per-lane rounding is identical
+    /// across implementations (see the module docs).
+    #[inline]
+    pub fn accumulate(&self, acc: &mut [f64], x: &[f64], inv: &[f64]) {
+        debug_assert!(acc.len() == x.len() && acc.len() == inv.len());
+        match self.kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` is only ever constructed by `detect()`
+            // after `is_x86_feature_detected!("avx2")` returned true on
+            // this CPU.
+            Kind::Avx2 => unsafe { accumulate_avx2(acc, x, inv) },
+            _ => accumulate_scalar(acc, x, inv),
+        }
+    }
+}
+
+/// The widest implementation this CPU supports.
+fn detect() -> Kind {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return Kind::Avx2;
+    }
+    Kind::Scalar
+}
+
+/// The `TEMPOPR_SIMD` override, read once per process. Unset, empty,
+/// `auto`, or unrecognized values all mean "detect".
+fn env_policy() -> SimdPolicy {
+    static ENV: OnceLock<SimdPolicy> = OnceLock::new();
+    *ENV.get_or_init(|| parse_env(std::env::var("TEMPOPR_SIMD").ok().as_deref()))
+}
+
+/// Parses a `TEMPOPR_SIMD` value (split out from the process environment
+/// for testability).
+fn parse_env(value: Option<&str>) -> SimdPolicy {
+    match value.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+        Some("scalar") => SimdPolicy::Scalar,
+        Some("bitwalk") => SimdPolicy::BitWalk,
+        _ => SimdPolicy::Auto,
+    }
+}
+
+/// Portable dense accumulate, unrolled 4-wide to mirror the AVX2 stride.
+fn accumulate_scalar(acc: &mut [f64], x: &[f64], inv: &[f64]) {
+    let n = acc.len().min(x.len()).min(inv.len());
+    let (acc, x, inv) = (&mut acc[..n], &x[..n], &inv[..n]);
+    let mut k = 0;
+    while k + 4 <= n {
+        acc[k] += x[k] * inv[k];
+        acc[k + 1] += x[k + 1] * inv[k + 1];
+        acc[k + 2] += x[k + 2] * inv[k + 2];
+        acc[k + 3] += x[k + 3] * inv[k + 3];
+        k += 4;
+    }
+    while k < n {
+        acc[k] += x[k] * inv[k];
+        k += 1;
+    }
+}
+
+/// AVX2 dense accumulate: 4 doubles per step, unaligned loads (the
+/// interleaved rank matrix has no alignment guarantee), scalar tail.
+///
+/// # Safety
+/// The caller must have verified AVX2 support on the running CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(acc: &mut [f64], x: &[f64], inv: &[f64]) {
+    use std::arch::x86_64::{_mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_storeu_pd};
+    let n = acc.len().min(x.len()).min(inv.len());
+    let mut k = 0;
+    while k + 4 <= n {
+        // SAFETY: `k + 4 <= n` bounds every 4-wide unaligned load/store
+        // within the slices.
+        unsafe {
+            let xv = _mm256_loadu_pd(x.as_ptr().add(k));
+            let iv = _mm256_loadu_pd(inv.as_ptr().add(k));
+            let av = _mm256_loadu_pd(acc.as_ptr().add(k));
+            // Separate multiply and add — NOT fmadd — so each lane rounds
+            // exactly like the scalar `acc[k] += x[k] * inv[k]`.
+            let sum = _mm256_add_pd(av, _mm256_mul_pd(xv, iv));
+            _mm256_storeu_pd(acc.as_mut_ptr().add(k), sum);
+        }
+        k += 4;
+    }
+    while k < n {
+        acc[k] += x[k] * inv[k];
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic, ugly (non-round) doubles so rounding differences
+    /// would actually show.
+    fn noisy(len: usize, salt: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15 ^ salt);
+                // Map to (0, 1) with a full mantissa's worth of entropy.
+                (h >> 11) as f64 / (1u64 << 53) as f64 + 1e-9
+            })
+            .collect()
+    }
+
+    fn reference(acc: &mut [f64], x: &[f64], inv: &[f64]) {
+        for k in 0..acc.len() {
+            acc[k] += x[k] * inv[k];
+        }
+    }
+
+    #[test]
+    fn scalar_matches_reference_bitwise() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13, 16, 31, 64] {
+            let x = noisy(len, 1);
+            let inv = noisy(len, 2);
+            let mut a = noisy(len, 3);
+            let mut b = a.clone();
+            accumulate_scalar(&mut a, &x, &inv);
+            reference(&mut b, &x, &inv);
+            assert_eq!(a, b, "len {len}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_matches_scalar_bitwise() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("skipping: no AVX2 on this CPU");
+            return;
+        }
+        for len in [1usize, 4, 7, 8, 15, 16, 32, 33, 64] {
+            let x = noisy(len, 11);
+            let inv = noisy(len, 12);
+            let mut a = noisy(len, 13);
+            let mut b = a.clone();
+            // SAFETY: AVX2 support checked above.
+            unsafe { accumulate_avx2(&mut a, &x, &inv) };
+            accumulate_scalar(&mut b, &x, &inv);
+            let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb, "len {len}");
+        }
+    }
+
+    #[test]
+    fn explicit_policies_bypass_detection() {
+        assert_eq!(SimdDispatch::select(SimdPolicy::Scalar).isa(), "scalar");
+        assert_eq!(SimdDispatch::select(SimdPolicy::BitWalk).isa(), "bitwalk");
+        assert!(SimdDispatch::select(SimdPolicy::Scalar).dense());
+        assert!(!SimdDispatch::select(SimdPolicy::BitWalk).dense());
+    }
+
+    #[test]
+    fn auto_selects_a_dense_capable_kind_or_env_override() {
+        let d = SimdDispatch::select(SimdPolicy::Auto);
+        // With TEMPOPR_SIMD unset this is avx2/scalar; under the CI
+        // fallback job (TEMPOPR_SIMD=scalar) it must be scalar; bitwalk
+        // only if the env explicitly asked for it.
+        match std::env::var("TEMPOPR_SIMD").ok().as_deref() {
+            Some("scalar") => assert_eq!(d.isa(), "scalar"),
+            Some("bitwalk") => assert_eq!(d.isa(), "bitwalk"),
+            _ => assert!(d.dense(), "auto must enable the dense path"),
+        }
+    }
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(parse_env(None), SimdPolicy::Auto);
+        assert_eq!(parse_env(Some("")), SimdPolicy::Auto);
+        assert_eq!(parse_env(Some("auto")), SimdPolicy::Auto);
+        assert_eq!(parse_env(Some("AUTO")), SimdPolicy::Auto);
+        assert_eq!(parse_env(Some("scalar")), SimdPolicy::Scalar);
+        assert_eq!(parse_env(Some(" Scalar ")), SimdPolicy::Scalar);
+        assert_eq!(parse_env(Some("bitwalk")), SimdPolicy::BitWalk);
+        assert_eq!(parse_env(Some("avx512-or-bust")), SimdPolicy::Auto);
+    }
+
+    #[test]
+    fn dispatch_accumulate_runs_for_every_kind() {
+        for policy in [SimdPolicy::Auto, SimdPolicy::Scalar, SimdPolicy::BitWalk] {
+            let d = SimdDispatch::select(policy);
+            let x = noisy(16, 21);
+            let inv = noisy(16, 22);
+            let mut a = noisy(16, 23);
+            let mut b = a.clone();
+            d.accumulate(&mut a, &x, &inv);
+            reference(&mut b, &x, &inv);
+            let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb, "{policy:?}");
+        }
+    }
+}

@@ -18,7 +18,8 @@ use crate::error::{FaultKind, KernelError};
 use crate::observe::BatchObs;
 use crate::pagerank::{guard_check, GuardAction, PrHealth};
 use crate::pagerank::{Init, PrConfig, PrStats};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Balance, Scheduler};
+use crate::simd::SimdDispatch;
 use tempopr_graph::{TemporalCsr, TimeRange, VertexId, WindowIndexView};
 
 /// Maximum lanes per batch (masks are `u64`).
@@ -50,13 +51,6 @@ pub struct SpmmWorkspace {
 }
 
 impl SpmmWorkspace {
-    /// Extracts lane `k` as a contiguous rank vector of length `n`.
-    pub fn lane(&self, k: usize, vl: usize) -> Vec<f64> {
-        assert!(k < vl);
-        let n = self.x.len() / vl;
-        (0..n).map(|v| self.x[v * vl + k]).collect()
-    }
-
     /// Copies lane `k` into `out` (length `n`).
     pub fn copy_lane_into(&self, k: usize, vl: usize, out: &mut [f64]) {
         assert!(k < vl);
@@ -76,7 +70,7 @@ impl SpmmWorkspace {
 /// pass the same reference for symmetric builds. Lanes converge
 /// independently; iteration stops when every lane has converged (or at
 /// `cfg.max_iters`). Results are interleaved in `ws.x`
-/// (use [`SpmmWorkspace::lane`]).
+/// (use [`SpmmWorkspace::copy_lane_into`]).
 pub fn pagerank_batch(
     pull: &TemporalCsr,
     push: &TemporalCsr,
@@ -280,14 +274,36 @@ pub fn pagerank_batch_indexed_obs(
 /// masked batched power iteration over the run-compressed adjacency and
 /// activity masks already present in `ws`.
 ///
+/// Three orthogonal optimizations live here; the first two are
+/// bit-identical per lane to the plain masked walk (locked in by
+/// `tests/prop_simd_parity.rs`):
+///
+/// - **Dense dispatch**: when a run covers every live lane — the dominant
+///   case once windows overlap — the per-lane mask walk is replaced by a
+///   [`SimdDispatch::accumulate`] over the full effective stride (AVX2 or
+///   unrolled scalar per [`PrConfig::simd`]). Live lanes see the exact
+///   multiply/add sequence of the walk; slots belonging to converged or
+///   inactive lanes are computed but never read back.
+/// - **Converged-lane compaction** ([`PrConfig::compaction`]): once at
+///   most half of at least 8 effective lanes are still live, the
+///   interleaved state is repacked to the live lanes, shrinking the
+///   effective `vl`; converged columns are parked at their original
+///   positions and merged back after the loop. Each lane's summation
+///   sequence is unchanged, so ranks stay bit-identical.
+/// - **Edge-balanced chunking** ([`Balance::Edge`] on the scheduler):
+///   parallel chunk boundaries follow the run-count prefix sum instead of
+///   row counts. Like a grain-size change, moving chunk boundaries moves
+///   reduction grouping, so this is *not* bit-identical to
+///   vertex-balanced runs (each configuration is itself deterministic).
+///
 /// The per-lane L1-diff reduction also carries each lane's rank mass, so
 /// the numeric-health guards check every live lane per iteration at the
 /// cost of one extra add per (row, live lane). Recovery
 /// (renormalize/restart per [`crate::NumericPolicy`]) is per lane —
 /// healthy lanes are unaffected by a faulting sibling. Injected faults
-/// (`cfg.fault`) target lane 0.
+/// (`cfg.fault`) target original lane 0, wherever compaction has moved it.
 fn batch_iterate(
-    vl: usize,
+    vl0: usize,
     inits: &[Init<'_>],
     cfg: &PrConfig,
     sched: Option<&Scheduler>,
@@ -299,27 +315,59 @@ fn batch_iterate(
 
     // --- Initialization ---------------------------------------------------
     ws.x.clear();
-    ws.x.resize(n * vl, 0.0);
+    ws.x.resize(n * vl0, 0.0);
     ws.y.clear();
-    ws.y.resize(n * vl, 0.0);
-    for k in 0..vl {
-        initialize_lane(inits[k], k, vl, &ws.active_mask, n_act[k], &mut ws.x)?;
+    ws.y.resize(n * vl0, 0.0);
+    for k in 0..vl0 {
+        initialize_lane(inits[k], k, vl0, &ws.active_mask, n_act[k], &mut ws.x)?;
     }
     if let Some(FaultKind::CorruptReciprocal) = cfg.fault {
         if let Some(&v) = ws
             .active_list
             .iter()
-            .find(|&&v| ws.inv_deg[v as usize * vl] > 0.0)
+            .find(|&&v| ws.inv_deg[v as usize * vl0] > 0.0)
         {
-            ws.inv_deg[v as usize * vl] *= 1000.0;
+            ws.inv_deg[v as usize * vl0] *= 1000.0;
         }
     }
+
+    let dispatch = SimdDispatch::select(cfg.simd);
+    let dense = dispatch.dense();
+    obs.dispatch(dispatch.isa(), vl0);
+
+    // Edge-balanced chunk plan: degree-weighted boundaries over the active
+    // rows (weight = run count + 1 so runless rows still carry the scatter
+    // cost). Row counts are independent of the lane width, so one plan
+    // serves every iteration, before and after compaction — which also
+    // keeps the reduction grouping (and thus the ranks) stable across
+    // compaction events.
+    let edge_chunks: Option<Vec<std::ops::Range<usize>>> = match sched {
+        Some(s) if s.balance == Balance::Edge => {
+            let mut prefix = Vec::with_capacity(ws.active_list.len() + 1);
+            let mut acc = 0usize;
+            prefix.push(0);
+            for &v in &ws.active_list {
+                let v = v as usize;
+                acc += ws.run_row[v + 1] - ws.run_row[v] + 1;
+                prefix.push(acc);
+            }
+            Some(s.chunks_weighted(&prefix))
+        }
+        _ => None,
+    };
+    // Run entries the propagation pass walks per round: every run of every
+    // active row, however many lanes are live (reported to the observer).
+    let edges_per_round: u64 = ws
+        .active_list
+        .iter()
+        .map(|&v| (ws.run_row[v as usize + 1] - ws.run_row[v as usize]) as u64)
+        .sum();
 
     // --- Batched power iteration ------------------------------------------
     let alpha = cfg.alpha;
     let damp = 1.0 - alpha;
     let has_dangling = ws.dangling_mask.iter().any(|&m| m != 0);
-    let mut stats: Vec<PrStats> = (0..vl)
+    let mut stats: Vec<PrStats> = (0..vl0)
         .map(|k| PrStats {
             iterations: 0,
             converged: n_act[k] == 0,
@@ -327,12 +375,23 @@ fn batch_iterate(
             health: PrHealth::default(),
         })
         .collect();
+
+    // Compact lane state: `vl` is the current effective width and
+    // `lane_map[j]` the original lane occupying compact slot `j`. `done`,
+    // `all_done`, and `n_act_c` live in compact space; `stats` stays in
+    // original lane order. Converged columns are parked at their original
+    // positions (stride `vl0`) when compaction drops them.
+    let mut vl = vl0;
+    let mut lane_map: Vec<usize> = (0..vl0).collect();
+    let mut n_act_c: Vec<usize> = n_act.to_vec();
+    let mut parked: Vec<f64> = Vec::new();
+
     let mut done: u64 = stats
         .iter()
         .enumerate()
         .filter(|(_, s)| s.converged)
         .fold(0u64, |m, (k, _)| m | (1 << k));
-    let all_done = if vl == 64 { u64::MAX } else { (1u64 << vl) - 1 };
+    let mut all_done = lane_mask_all(vl);
 
     let mut iter = 0usize;
     while done != all_done && iter < cfg.max_iters {
@@ -340,7 +399,12 @@ fn batch_iterate(
         match cfg.fault {
             Some(FaultKind::InjectNan { at_iter }) if at_iter == iter => {
                 if let Some(&v) = ws.active_list.first() {
-                    ws.x[v as usize * vl] = f64::NAN;
+                    // Faults target *original* lane 0, which compaction may
+                    // have moved to another slot — or parked entirely.
+                    match lane_map.iter().position(|&orig| orig == 0) {
+                        Some(j) => ws.x[v as usize * vl + j] = f64::NAN,
+                        None => parked[v as usize * vl0] = f64::NAN,
+                    }
                 }
             }
             Some(FaultKind::PanicInKernel) if iter == 1 => {
@@ -371,8 +435,8 @@ fn batch_iterate(
             }
         }
         for k in 0..vl {
-            if n_act[k] > 0 {
-                base[k] = alpha / n_act[k] as f64 + damp * base[k] / n_act[k] as f64;
+            if n_act_c[k] > 0 {
+                base[k] = alpha / n_act_c[k] as f64 + damp * base[k] / n_act_c[k] as f64;
             }
         }
 
@@ -399,11 +463,23 @@ fn batch_iterate(
                 acc[..vl].iter_mut().for_each(|a| *a = 0.0);
                 for i in run_row[v]..run_row[v + 1] {
                     let u = run_nbr[i] as usize;
-                    let mut m = run_mask[i] & live;
-                    while m != 0 {
-                        let k = m.trailing_zeros() as usize;
-                        acc[k] += x[u * vl + k] * inv_deg[u * vl + k];
-                        m &= m - 1;
+                    let rm = run_mask[i];
+                    if dense && rm & live == live {
+                        // Full-mask run: accumulate the whole stride. Live
+                        // lanes see the exact add sequence of the walk
+                        // below; dead-lane slots are never read back.
+                        dispatch.accumulate(
+                            &mut acc[..vl],
+                            &x[u * vl..(u + 1) * vl],
+                            &inv_deg[u * vl..(u + 1) * vl],
+                        );
+                    } else {
+                        let mut m = rm & live;
+                        while m != 0 {
+                            let k = m.trailing_zeros() as usize;
+                            acc[k] += x[u * vl + k] * inv_deg[u * vl + k];
+                            m &= m - 1;
+                        }
                     }
                 }
                 for (k, y) in row.iter_mut().enumerate() {
@@ -430,15 +506,23 @@ fn batch_iterate(
             }
             a
         };
-        let (diff, mass) = match sched {
-            Some(s) => s.map_reduce_rows_mut(
+        let (diff, mass) = match (sched, &edge_chunks) {
+            (Some(s), Some(chunks)) => s.map_reduce_rows_chunked_mut(
+                compact,
+                vl,
+                chunks,
+                ([0.0; MAX_LANES], [0.0; MAX_LANES]),
+                body,
+                reduce,
+            ),
+            (Some(s), None) => s.map_reduce_rows_mut(
                 compact,
                 vl,
                 ([0.0; MAX_LANES], [0.0; MAX_LANES]),
                 body,
                 reduce,
             ),
-            None => body(0, compact),
+            (None, _) => body(0, compact),
         };
         let t_mid = obs.now();
         for (r, &v) in ws.active_list.iter().enumerate() {
@@ -454,14 +538,15 @@ fn batch_iterate(
             while m != 0 {
                 let k = m.trailing_zeros() as usize;
                 m &= m - 1;
-                match guard_check(diff[k], mass[k], k, iter, cfg, &mut stats[k].health)? {
+                let lane = lane_map[k];
+                match guard_check(diff[k], mass[k], lane, iter, cfg, &mut stats[lane].health)? {
                     GuardAction::Proceed => {}
                     GuardAction::Renormalize { scale } => {
                         for &v in &ws.active_list {
                             ws.x[v as usize * vl + k] *= scale;
                         }
                         faulted |= 1 << k;
-                        obs.lane_guard(k, iter, false);
+                        obs.lane_guard(lane, iter, false);
                     }
                     GuardAction::Restart => {
                         initialize_lane(
@@ -469,11 +554,11 @@ fn batch_iterate(
                             k,
                             vl,
                             &ws.active_mask,
-                            n_act[k],
+                            n_act_c[k],
                             &mut ws.x,
                         )?;
                         faulted |= 1 << k;
-                        obs.lane_guard(k, iter, true);
+                        obs.lane_guard(lane, iter, true);
                     }
                 }
             }
@@ -483,12 +568,13 @@ fn batch_iterate(
             if done & (1 << k) != 0 {
                 continue;
             }
-            stats[k].iterations = iter;
+            let lane = lane_map[k];
+            stats[lane].iterations = iter;
             if faulted & (1 << k) != 0 {
                 continue;
             }
             if diff[k] < cfg.tol && !force {
-                stats[k].converged = true;
+                stats[lane].converged = true;
                 done |= 1 << k;
             }
         }
@@ -497,12 +583,114 @@ fn batch_iterate(
             while m != 0 {
                 let k = m.trailing_zeros() as usize;
                 m &= m - 1;
-                obs.lane_iteration(k, iter, diff[k], mass[k]);
+                obs.lane_iteration(lane_map[k], iter, diff[k], mass[k]);
             }
-            obs.round(iter, live.count_ones(), vl, t_round, t_mid);
+            obs.round(
+                iter,
+                live.count_ones(),
+                vl0,
+                edges_per_round,
+                t_round,
+                t_mid,
+            );
+        }
+
+        // Converged-lane compaction: once at most half of at least 8
+        // effective lanes are still live, repack so dense accumulates,
+        // scatter, and guards touch only live columns.
+        let lc = (!done & all_done).count_ones() as usize;
+        if cfg.compaction && lc > 0 && vl >= 8 && lc <= vl / 2 {
+            let vl_new = compact_lanes(ws, vl, vl0, done, &mut lane_map, &mut n_act_c, &mut parked);
+            obs.compaction(vl, vl_new);
+            vl = vl_new;
+            done = 0;
+            all_done = lane_mask_all(vl);
         }
     }
+    // Merge the still-compact columns back over the parked ones and
+    // restore the full `vl0`-stride layout (`ws.x` kept its `n * vl0`
+    // allocation throughout, so the swap hands back a full-size buffer).
+    if vl != vl0 {
+        for v in 0..n {
+            for (j, &orig) in lane_map.iter().enumerate() {
+                parked[v * vl0 + orig] = ws.x[v * vl + j];
+            }
+        }
+        std::mem::swap(&mut ws.x, &mut parked);
+    }
     Ok(stats)
+}
+
+/// The all-lanes-done mask for an effective width.
+fn lane_mask_all(vl: usize) -> u64 {
+    if vl >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vl) - 1
+    }
+}
+
+/// Repacks the interleaved batch state from `vl` columns down to the lanes
+/// still live in `done`, parking converged columns at their original
+/// positions (stride `vl0`) in `parked`. Returns the new effective width.
+///
+/// In-place repacking is safe row-ascending: row `v`'s destination ends at
+/// `(v + 1) * vl_new - 1 < (v + 1) * vl`, so writes never reach an unread
+/// source row, and the row's own source is staged through a stack buffer
+/// first.
+fn compact_lanes(
+    ws: &mut SpmmWorkspace,
+    vl: usize,
+    vl0: usize,
+    done: u64,
+    lane_map: &mut Vec<usize>,
+    n_act_c: &mut Vec<usize>,
+    parked: &mut Vec<f64>,
+) -> usize {
+    let n = ws.active_mask.len();
+    let keep: Vec<usize> = (0..vl).filter(|j| done & (1u64 << j) == 0).collect();
+    let vl_new = keep.len();
+    if parked.is_empty() {
+        parked.resize(n * vl0, 0.0);
+    }
+    let mut tmp = [0.0f64; MAX_LANES];
+    for v in 0..n {
+        tmp[..vl].copy_from_slice(&ws.x[v * vl..(v + 1) * vl]);
+        let mut m = done;
+        while m != 0 {
+            let j = m.trailing_zeros() as usize;
+            parked[v * vl0 + lane_map[j]] = tmp[j];
+            m &= m - 1;
+        }
+        for (jn, &j) in keep.iter().enumerate() {
+            ws.x[v * vl_new + jn] = tmp[j];
+        }
+        tmp[..vl].copy_from_slice(&ws.inv_deg[v * vl..(v + 1) * vl]);
+        for (jn, &j) in keep.iter().enumerate() {
+            ws.inv_deg[v * vl_new + jn] = tmp[j];
+        }
+    }
+    for m in ws.active_mask.iter_mut() {
+        *m = compress_bits(*m, &keep);
+    }
+    for m in ws.dangling_mask.iter_mut() {
+        *m = compress_bits(*m, &keep);
+    }
+    for m in ws.run_mask.iter_mut() {
+        *m = compress_bits(*m, &keep);
+    }
+    *lane_map = keep.iter().map(|&j| lane_map[j]).collect();
+    *n_act_c = keep.iter().map(|&j| n_act_c[j]).collect();
+    vl_new
+}
+
+/// Bit `jn` of the result is bit `keep[jn]` of `m`.
+fn compress_bits(m: u64, keep: &[usize]) -> u64 {
+    let mut out = 0u64;
+    for (jn, &j) in keep.iter().enumerate() {
+        out |= ((m >> j) & 1) << jn;
+    }
+    out
 }
 
 /// Builds the run-compressed pull adjacency with per-run lane masks.
@@ -653,6 +841,14 @@ mod tests {
         }
     }
 
+    /// Lane `k` as an owned vector (tests only; production callers reuse a
+    /// buffer through [`SpmmWorkspace::copy_lane_into`]).
+    fn lane_of(ws: &SpmmWorkspace, k: usize, vl: usize) -> Vec<f64> {
+        let mut out = vec![0.0; ws.x.len() / vl];
+        ws.copy_lane_into(k, vl, &mut out);
+        out
+    }
+
     #[test]
     fn batch_matches_per_window_spmv() {
         let events = sample_events();
@@ -666,7 +862,7 @@ mod tests {
         for (k, r) in ranges.iter().enumerate() {
             let (expect, es) =
                 pagerank_window_vec(&t, &t, *r, Init::Uniform, &cfg(), None).unwrap();
-            let got = ws.lane(k, 8);
+            let got = lane_of(&ws, k, 8);
             assert_close(&got, &expect, 1e-9);
             assert_eq!(stats[k].active_vertices, es.active_vertices, "lane {k}");
         }
@@ -687,7 +883,7 @@ mod tests {
             let mut par = SpmmWorkspace::default();
             pagerank_batch(&t, &t, &ranges, &inits, &cfg(), Some(&s), &mut par).unwrap();
             for k in 0..16 {
-                assert_close(&seq.lane(k, 16), &par.lane(k, 16), 1e-9);
+                assert_close(&lane_of(&seq, k, 16), &lane_of(&par, k, 16), 1e-9);
             }
         }
     }
@@ -704,7 +900,7 @@ mod tests {
         for (k, r) in ranges.iter().enumerate() {
             let (expect, _) =
                 pagerank_window_vec(&pull, &out, *r, Init::Uniform, &cfg(), None).unwrap();
-            assert_close(&ws.lane(k, 2), &expect, 1e-9);
+            assert_close(&lane_of(&ws, k, 2), &expect, 1e-9);
         }
     }
 
@@ -718,11 +914,11 @@ mod tests {
         let stats = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws).unwrap();
         assert_eq!(stats[1].active_vertices, 0);
         assert!(stats[1].converged);
-        assert!(ws.lane(1, 2).iter().all(|&x| x == 0.0));
+        assert!(lane_of(&ws, 1, 2).iter().all(|&x| x == 0.0));
         // Lane 0 unaffected by the dead lane.
         let (expect, _) =
             pagerank_window_vec(&t, &t, ranges[0], Init::Uniform, &cfg(), None).unwrap();
-        assert_close(&ws.lane(0, 2), &expect, 1e-9);
+        assert_close(&lane_of(&ws, 0, 2), &expect, 1e-9);
     }
 
     #[test]
@@ -738,7 +934,7 @@ mod tests {
         pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws).unwrap();
         let (expect, _) =
             pagerank_window_vec(&t, &t, r1, Init::Partial(&prev), &cfg(), None).unwrap();
-        assert_close(&ws.lane(0, 1), &expect, 1e-9);
+        assert_close(&lane_of(&ws, 0, 1), &expect, 1e-9);
     }
 
     #[test]
@@ -765,7 +961,7 @@ mod tests {
         let mut ws = SpmmWorkspace::default();
         pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut ws).unwrap();
         for k in 0..4 {
-            let s: f64 = ws.lane(k, 4).iter().sum();
+            let s: f64 = lane_of(&ws, k, 4).iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "lane {k} sums to {s}");
         }
     }
@@ -842,7 +1038,7 @@ mod tests {
         for (k, &range) in ranges.iter().enumerate() {
             let (expect, _) =
                 pagerank_window_vec(&t, &t, range, Init::Uniform, &cfg(), None).unwrap();
-            for (v, (a, b)) in expect.iter().zip(ws.lane(k, 2).iter()).enumerate() {
+            for (v, (a, b)) in expect.iter().zip(lane_of(&ws, k, 2).iter()).enumerate() {
                 assert!((a - b).abs() < 1e-9, "lane {k} vertex {v}: {a} vs {b}");
             }
         }
@@ -879,6 +1075,182 @@ mod tests {
         assert_eq!(stats.len(), 64);
         let (expect, _) =
             pagerank_window_vec(&t, &t, ranges[63], Init::Uniform, &cfg(), None).unwrap();
-        assert_close(&ws.lane(63, 64), &expect, 1e-9);
+        assert_close(&lane_of(&ws, 63, 64), &expect, 1e-9);
+    }
+
+    /// Staggered windows over the same origin: short lanes converge early,
+    /// so dense full-mask runs dominate at first and compaction fires as
+    /// the batch drains.
+    fn staggered_ranges(vl: usize) -> Vec<TimeRange> {
+        (0..vl as i64)
+            .map(|k| TimeRange::new(0, 40 + k * 20))
+            .collect()
+    }
+
+    #[test]
+    fn simd_policies_and_compaction_are_bit_identical() {
+        use crate::simd::SimdPolicy;
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges = staggered_ranges(16);
+        let inits = vec![Init::Uniform; 16];
+        // Reference: the pre-vectorization kernel — mask walk, no
+        // compaction.
+        let base = PrConfig {
+            simd: SimdPolicy::BitWalk,
+            compaction: false,
+            ..cfg()
+        };
+        let mut rws = SpmmWorkspace::default();
+        let rstats = pagerank_batch(&t, &t, &ranges, &inits, &base, None, &mut rws).unwrap();
+        for simd in [SimdPolicy::BitWalk, SimdPolicy::Scalar, SimdPolicy::Auto] {
+            for compaction in [false, true] {
+                let c = PrConfig {
+                    simd,
+                    compaction,
+                    ..cfg()
+                };
+                let mut w = SpmmWorkspace::default();
+                let s = pagerank_batch(&t, &t, &ranges, &inits, &c, None, &mut w).unwrap();
+                assert_eq!(s, rstats, "{simd:?} compaction={compaction}");
+                assert_eq!(
+                    w.x, rws.x,
+                    "{simd:?} compaction={compaction}: ranks must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_is_bit_identical_under_scheduler() {
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges = staggered_ranges(16);
+        let inits = vec![Init::Uniform; 16];
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 3);
+            let off = PrConfig {
+                compaction: false,
+                ..cfg()
+            };
+            let mut woff = SpmmWorkspace::default();
+            let soff = pagerank_batch(&t, &t, &ranges, &inits, &off, Some(&s), &mut woff).unwrap();
+            let mut won = SpmmWorkspace::default();
+            let son = pagerank_batch(&t, &t, &ranges, &inits, &cfg(), Some(&s), &mut won).unwrap();
+            assert_eq!(son, soff, "{part:?}");
+            assert_eq!(won.x, woff.x, "{part:?}: compaction must not change ranks");
+        }
+    }
+
+    #[test]
+    fn edge_balanced_scheduler_matches_sequential() {
+        use crate::scheduler::Balance;
+        // Degree-skewed graph: vertex 0 is a hub touching everyone.
+        let mut events = Vec::new();
+        for i in 1..30u32 {
+            events.push(Event::new(0, i, (i * 3) as i64));
+            events.push(Event::new(i, (i % 9) + 1, (i * 5) as i64));
+        }
+        let t = TemporalCsr::from_events(30, &events, true);
+        let ranges: Vec<TimeRange> = (0..8).map(|k| TimeRange::new(k * 10, 150)).collect();
+        let inits = vec![Init::Uniform; 8];
+        let mut seq = SpmmWorkspace::default();
+        pagerank_batch(&t, &t, &ranges, &inits, &cfg(), None, &mut seq).unwrap();
+        for part in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            let s = Scheduler::new(part, 4).with_balance(Balance::Edge);
+            let mut par = SpmmWorkspace::default();
+            pagerank_batch(&t, &t, &ranges, &inits, &cfg(), Some(&s), &mut par).unwrap();
+            for k in 0..8 {
+                assert_close(&lane_of(&seq, k, 8), &lane_of(&par, k, 8), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_targets_lane_zero_after_compaction() {
+        // 12 trivially-converging lanes park at iteration 1 (16 -> 4
+        // effective lanes); the NaN injected at iteration 3 must land on
+        // original lane 0 — now at compact slot 0 of 4 — and restart only
+        // that lane.
+        let mut events = Vec::new();
+        for i in 1..20u32 {
+            events.push(Event::new(0, i, (i * 15) as i64));
+            events.push(Event::new(i, (i % 7) + 1, (i * 14) as i64));
+        }
+        let t = TemporalCsr::from_events(20, &events, true);
+        let mut ranges = vec![TimeRange::new(0, 150)];
+        ranges.extend(std::iter::repeat_n(TimeRange::new(0, 15), 12));
+        ranges.extend(std::iter::repeat_n(TimeRange::new(100, 300), 3));
+        let inits = vec![Init::Uniform; 16];
+        let c = PrConfig {
+            fault: Some(crate::FaultKind::InjectNan { at_iter: 3 }),
+            ..cfg()
+        };
+        let mut ws = SpmmWorkspace::default();
+        let stats = pagerank_batch(&t, &t, &ranges, &inits, &c, None, &mut ws).unwrap();
+        assert_eq!(stats[0].health.restarts, 1);
+        for (k, s) in stats.iter().enumerate().skip(1) {
+            assert!(s.health.is_clean(), "lane {k} must be untouched");
+        }
+        assert!(stats.iter().all(|s| s.converged));
+        let (expect, _) =
+            pagerank_window_vec(&t, &t, ranges[0], Init::Uniform, &cfg(), None).unwrap();
+        assert_close(&lane_of(&ws, 0, 16), &expect, 1e-9);
+    }
+
+    #[test]
+    fn dispatch_and_compaction_are_observed() {
+        use crate::observe::KernelObserver;
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Rec {
+            dispatches: Mutex<Vec<(&'static str, u32)>>,
+            compactions: Mutex<Vec<(u32, u32)>>,
+        }
+        impl KernelObserver for Rec {
+            fn on_batch_dispatch(&self, isa: &'static str, lanes: u32) {
+                self.dispatches.lock().unwrap().push((isa, lanes));
+            }
+            fn on_batch_compaction(&self, from: u32, to: u32) {
+                self.compactions.lock().unwrap().push((from, to));
+            }
+        }
+        let events = sample_events();
+        let t = TemporalCsr::from_events(25, &events, true);
+        let ranges = staggered_ranges(16);
+        let inits = vec![Init::Uniform; 16];
+        let rec = Rec::default();
+        let mut ws = SpmmWorkspace::default();
+        pagerank_batch_obs(
+            &t,
+            &t,
+            &ranges,
+            &inits,
+            &cfg(),
+            None,
+            &mut ws,
+            BatchObs::new(&rec, &[]),
+        )
+        .unwrap();
+        let dispatches = rec.dispatches.lock().unwrap().clone();
+        assert_eq!(dispatches.len(), 1);
+        assert_eq!(dispatches[0].1, 16);
+        assert!(["avx2", "scalar", "bitwalk"].contains(&dispatches[0].0));
+        let compactions = rec.compactions.lock().unwrap().clone();
+        assert!(
+            !compactions.is_empty(),
+            "staggered convergence must trigger at least one compaction"
+        );
+        for &(from, to) in &compactions {
+            assert!(to < from, "compaction must shrink: {from} -> {to}");
+            assert!(to as usize <= from as usize / 2);
+        }
+    }
+
+    #[test]
+    fn compress_bits_compacts_kept_positions() {
+        assert_eq!(compress_bits(0b1001_0101, &[0, 2, 4, 5, 7]), 0b10111);
+        assert_eq!(compress_bits(u64::MAX, &[63]), 1);
+        assert_eq!(compress_bits(0, &[1, 2, 3]), 0);
     }
 }

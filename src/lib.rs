@@ -67,7 +67,8 @@ pub mod prelude {
     pub use tempopr_datagen::{Dataset, DatasetSpec, DAY};
     pub use tempopr_graph::{Event, EventLog, IngestReport, ParseMode, TimeRange, WindowSpec};
     pub use tempopr_kernel::{
-        FaultKind, GuardConfig, Init, NumericPolicy, Partitioner, PrConfig, Scheduler,
+        Balance, FaultKind, GuardConfig, Init, NumericPolicy, Partitioner, PrConfig, Scheduler,
+        SimdPolicy,
     };
     pub use tempopr_stream::{
         run_streaming, run_streaming_traced, IncrementalMode, StreamingConfig,

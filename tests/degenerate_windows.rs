@@ -29,7 +29,8 @@ fn all_kernels(t: &TemporalCsr, range: TimeRange) -> Vec<f64> {
     let s3 = pagerank_batch(t, t, &[range], &[Init::Uniform], &cfg(), None, &mut mws).unwrap();
     assert_eq!(s1.active_vertices, s2.active_vertices);
     assert_eq!(s1.active_vertices, s3[0].active_vertices);
-    let lane = mws.lane(0, 1);
+    let mut lane = vec![0.0; spmv.len()];
+    mws.copy_lane_into(0, 1, &mut lane);
     for v in 0..spmv.len() {
         assert!(
             (spmv[v] - bws.pr.x[v]).abs() < 1e-9,

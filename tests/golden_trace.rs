@@ -16,7 +16,7 @@ use tempopr::core::{
     FaultPlan, KernelKind, ParallelMode, PostmortemConfig, PostmortemEngine, WindowStatus,
 };
 use tempopr::graph::{Event, EventLog, WindowSpec};
-use tempopr::kernel::{FaultKind, PrConfig};
+use tempopr::kernel::{FaultKind, PrConfig, SimdPolicy};
 use tempopr::telemetry::Telemetry;
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_small.json");
@@ -94,6 +94,47 @@ fn trace_matches_golden_snapshot() {
         got, want,
         "trace diverged from {GOLDEN}; if intentional, regenerate with BLESS=1"
     );
+}
+
+/// The deterministic projection of an SpMM run must not depend on which
+/// inner-loop implementation the runtime dispatch picked, nor on whether
+/// converged-lane compaction fired: the machine-dependent `kernel.isa`
+/// telemetry lives in gauges/counters (excluded from the projection), and
+/// the per-lane iteration events are bit-identical by construction. This
+/// is the guarantee that lets CI compare traces across hosts with and
+/// without AVX2 — no snapshot re-bless needed for the SIMD rollout.
+#[test]
+fn spmm_trace_is_stable_across_simd_policies_and_compaction() {
+    let spmm_trace = |simd: SimdPolicy, compaction: bool| -> String {
+        let cfg = PostmortemConfig {
+            num_multiwindows: 2,
+            mode: ParallelMode::Sequential,
+            kernel: KernelKind::SpMM { lanes: 8 },
+            threads: 1,
+            pr: PrConfig {
+                max_iters: 60,
+                simd,
+                compaction,
+                ..PrConfig::default()
+            },
+            ..PostmortemConfig::default()
+        };
+        let tele = Telemetry::enabled();
+        let engine =
+            PostmortemEngine::with_telemetry(&fixed_log(), spec(), cfg, tele.clone()).unwrap();
+        engine.run();
+        tele.trace().deterministic_json()
+    };
+    let reference = spmm_trace(SimdPolicy::BitWalk, false);
+    for simd in [SimdPolicy::BitWalk, SimdPolicy::Scalar, SimdPolicy::Auto] {
+        for compaction in [false, true] {
+            assert_eq!(
+                spmm_trace(simd, compaction),
+                reference,
+                "{simd:?} compaction={compaction}: deterministic projection diverged"
+            );
+        }
+    }
 }
 
 #[test]

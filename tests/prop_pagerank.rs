@@ -84,7 +84,8 @@ proptest! {
         let stats = pagerank_batch(&t, &t, &ranges, &inits, &tight(), None, &mut ws).unwrap();
         for (k, &range) in ranges.iter().enumerate() {
             let (expect, es) = pagerank_window_vec(&t, &t, range, Init::Uniform, &tight(), None).unwrap();
-            let got = ws.lane(k, ranges.len());
+            let mut got = vec![0.0; MAX_V as usize];
+            ws.copy_lane_into(k, ranges.len(), &mut got);
             for v in 0..MAX_V as usize {
                 prop_assert!((got[v] - expect[v]).abs() < 1e-8, "lane {} vertex {}", k, v);
             }

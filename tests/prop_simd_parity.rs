@@ -1,0 +1,125 @@
+//! Property-based parity tests for the vectorized SpMM hot path: the
+//! dense dispatch (auto-detected AVX2 or forced scalar) and converged-lane
+//! compaction must produce **byte-identical** rank fingerprints to the
+//! pre-vectorization mask-walk kernel, across arbitrary event logs, vector
+//! lengths, partitioners, grain sizes, and pipeline modes.
+//!
+//! Edge-balanced chunking is checked separately and only for numerical
+//! closeness: like a grain-size change, moving chunk boundaries moves the
+//! floating-point reduction grouping, so it is deterministic but not
+//! bit-identical to vertex-balanced runs.
+
+use proptest::prelude::*;
+use tempopr::graph::{Event, EventLog, WindowSpec};
+use tempopr::prelude::*;
+
+const MAX_V: u32 = 24;
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0..MAX_V, 0..MAX_V, 0i64..500).prop_map(|(u, v, t)| Event::new(u, v, t)),
+        1..200,
+    )
+}
+
+/// Every window's rank fingerprint as raw bits — equality means the ranks
+/// agree to the last ulp on every window.
+fn fingerprint_bits(log: &EventLog, spec: WindowSpec, cfg: PostmortemConfig) -> Vec<u64> {
+    PostmortemEngine::new(log, spec, cfg)
+        .unwrap()
+        .run()
+        .windows
+        .iter()
+        .map(|w| w.fingerprint.to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simd_and_compaction_are_bit_identical_to_mask_walk(
+        events in arb_events(),
+        delta in 5i64..200,
+        sw in 1i64..100,
+        lanes in prop::sample::select(vec![2usize, 4, 8, 16]),
+        partitioner in prop::sample::select(vec![
+            Partitioner::Auto,
+            Partitioner::Simple,
+            Partitioner::Static,
+        ]),
+        granularity in 1usize..8,
+        pipeline in any::<bool>(),
+        symmetric in any::<bool>(),
+    ) {
+        let log = EventLog::from_unsorted(events, MAX_V as usize).unwrap();
+        let spec = WindowSpec::covering(&log, delta, sw).unwrap();
+        // Reference: the pre-vectorization kernel (mask walk, no
+        // compaction) at the same scheduler configuration.
+        let base = PostmortemConfig {
+            kernel: KernelKind::SpMM { lanes },
+            mode: ParallelMode::Nested,
+            scheduler: Scheduler::new(partitioner, granularity),
+            pipeline,
+            symmetric,
+            pr: PrConfig {
+                simd: SimdPolicy::BitWalk,
+                compaction: false,
+                ..PrConfig::default()
+            },
+            ..PostmortemConfig::default()
+        };
+        let reference = fingerprint_bits(&log, spec, base.clone());
+        for simd in [SimdPolicy::Scalar, SimdPolicy::Auto] {
+            for compaction in [false, true] {
+                let cfg = PostmortemConfig {
+                    pr: PrConfig {
+                        simd,
+                        compaction,
+                        ..PrConfig::default()
+                    },
+                    ..base.clone()
+                };
+                let got = fingerprint_bits(&log, spec, cfg);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "{:?} compaction={} lanes={} {:?} g={} pipeline={}",
+                    simd, compaction, lanes, partitioner, granularity, pipeline
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_balanced_scheduling_matches_vertex_balanced_closely(
+        events in arb_events(),
+        delta in 5i64..200,
+        sw in 1i64..100,
+        lanes in prop::sample::select(vec![4usize, 8, 16]),
+        granularity in 1usize..8,
+    ) {
+        let log = EventLog::from_unsorted(events, MAX_V as usize).unwrap();
+        let spec = WindowSpec::covering(&log, delta, sw).unwrap();
+        let cfg = |balance: Balance| PostmortemConfig {
+            kernel: KernelKind::SpMM { lanes },
+            mode: ParallelMode::Nested,
+            scheduler: Scheduler::new(Partitioner::Simple, granularity).with_balance(balance),
+            ..PostmortemConfig::default()
+        };
+        let run = |c: PostmortemConfig| -> Vec<f64> {
+            PostmortemEngine::new(&log, spec, c)
+                .unwrap()
+                .run()
+                .windows
+                .iter()
+                .map(|w| w.fingerprint)
+                .collect()
+        };
+        let vertex = run(cfg(Balance::Vertex));
+        let edge = run(cfg(Balance::Edge));
+        prop_assert_eq!(vertex.len(), edge.len());
+        for (w, (a, b)) in vertex.iter().zip(edge.iter()).enumerate() {
+            prop_assert!((a - b).abs() < 1e-7, "window {}: {} vs {}", w, a, b);
+        }
+    }
+}
