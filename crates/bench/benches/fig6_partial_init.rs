@@ -4,20 +4,24 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use tempopr_bench::{bench_workload, postmortem};
-use tempopr_core::{KernelKind, ParallelMode, PostmortemConfig};
+use tempopr_core::{InitMode, KernelKind, ParallelMode, PostmortemConfig};
 use tempopr_datagen::Dataset;
 
 fn bench(c: &mut Criterion) {
     for dataset in [Dataset::StackOverflow, Dataset::WikiTalk] {
         let (log, spec) = bench_workload(dataset, 64);
         let mut g = c.benchmark_group(format!("fig6_partial_init/{}", dataset.name()));
-        for (label, partial) in [("full_init", false), ("partial_init", true)] {
+        for (label, init_mode) in [
+            ("full_init", InitMode::Full),
+            ("partial_init", InitMode::Partial),
+            ("warm_init", InitMode::Warm),
+        ] {
             g.bench_function(label, |b| {
                 b.iter(|| {
                     let cfg = PostmortemConfig {
                         kernel: KernelKind::SpMV,
                         mode: ParallelMode::ApplicationLevel,
-                        partial_init: partial,
+                        init_mode,
                         ..Default::default()
                     };
                     std::hint::black_box(postmortem(&log, spec, cfg).total_iterations())

@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 use tempopr_core::{
-    run_offline, OfflineConfig, PostmortemConfig, PostmortemEngine, RetainMode, RunOutput,
+    run_offline, InitMode, OfflineConfig, PostmortemConfig, PostmortemEngine, RetainMode, RunOutput,
 };
 use tempopr_datagen::Dataset;
 use tempopr_graph::{EventLog, WindowSpec};
@@ -53,6 +53,10 @@ pub struct Opts {
     /// Edge-balanced parallel chunks (`--edge-balance`); applied to every
     /// scheduler an experiment constructs.
     pub edge_balance: bool,
+    /// Override the window-seeding mode of every postmortem run
+    /// (`--init-mode full|partial|warm`); `None` keeps each experiment's
+    /// own choice.
+    pub init_mode: Option<InitMode>,
 }
 
 impl Default for Opts {
@@ -67,6 +71,7 @@ impl Default for Opts {
             simd: SimdPolicy::Auto,
             compaction: true,
             edge_balance: false,
+            init_mode: None,
         }
     }
 }
@@ -173,6 +178,9 @@ pub fn time_postmortem_traced(
     cfg.pr.compaction = opts.compaction;
     if opts.edge_balance {
         cfg.scheduler = cfg.scheduler.with_balance(Balance::Edge);
+    }
+    if let Some(init_mode) = opts.init_mode {
+        cfg.init_mode = init_mode;
     }
     let (out, d) = time(|| {
         let engine = PostmortemEngine::with_telemetry(log, spec, cfg, tele)

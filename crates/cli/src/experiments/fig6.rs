@@ -1,7 +1,7 @@
 //! Figure 6: impact of partial initialization (full/partial speedup).
 
 use crate::common::{time_postmortem, workload, Opts};
-use tempopr_core::{KernelKind, ParallelMode, PostmortemConfig};
+use tempopr_core::{InitMode, KernelKind, ParallelMode, PostmortemConfig};
 use tempopr_datagen::{Dataset, DAY};
 
 /// Runs postmortem PageRank with and without partial initialization on
@@ -35,7 +35,7 @@ pub fn run(opts: &Opts) {
                 &log,
                 spec,
                 PostmortemConfig {
-                    partial_init: false,
+                    init_mode: InitMode::Full,
                     ..base.clone()
                 },
                 opts,
@@ -44,7 +44,7 @@ pub fn run(opts: &Opts) {
                 &log,
                 spec,
                 PostmortemConfig {
-                    partial_init: true,
+                    init_mode: InitMode::Partial,
                     ..base
                 },
                 opts,

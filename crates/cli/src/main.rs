@@ -17,7 +17,8 @@
 //!   fig10    partitioner/granularity sweep (1024 windows)
 //!   fig11    best speedup heatmaps, all datasets
 //!   fig12    suggested parameters on wiki-talk
-//!   all      everything above, in order
+//!   warmstart  init-mode iteration counts across window-overlap ratios
+//!   all      every paper figure above, in order
 //! ```
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
@@ -87,6 +88,7 @@ fn run_experiment(cmd: &str, opts: &Opts, dataset: Option<&str>, extra: &ToolFla
         "fig10" => sweep::run(sweep::fig10(), opts),
         "fig11" => fig11::run(opts, dataset),
         "fig12" => fig12::run(opts),
+        "warmstart" => warmstart::run(opts),
         "structure" => {
             let src = dataset.unwrap_or("wikitalk");
             tools::structure(src, extra.delta_days, extra.sw_days, extra.lenient, opts);
@@ -195,6 +197,15 @@ fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), Str
                 opts.compaction = false;
                 i += 1;
             }
+            "--init-mode" => {
+                opts.init_mode = Some(match value(i)?.as_str() {
+                    "full" => tempopr_core::InitMode::Full,
+                    "partial" => tempopr_core::InitMode::Partial,
+                    "warm" => tempopr_core::InitMode::Warm,
+                    other => return Err(format!("bad --init-mode '{other}' (full|partial|warm)")),
+                });
+                i += 2;
+            }
             "--edge-balance" => {
                 opts.edge_balance = true;
                 i += 1;
@@ -217,7 +228,7 @@ fn print_help() {
          Pagerank on Temporal Graphs' (ICPP '22)\n\n\
          usage: tempopr <experiment> [--scale F] [--seed N] [--threads N] \
          [--max-windows N] [--dataset NAME] [--metrics-out PATH]\n\n\
-         experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all\n\
+         experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 warmstart all\n\
          tools:       pagerank | structure  (--source <file-or-dataset> \
          --delta-days D --sw-days S [--top K] [--lenient]); convert <in> <out> [--lenient]\n\
          datasets:    enron epinions hepth youtube wikitalk stackoverflow askubuntu\n\n\
@@ -234,6 +245,9 @@ fn print_help() {
          bitwalk (pre-vectorization mask walk)\n\
          --no-compaction  disable converged-lane compaction in the SpMM \
          kernel\n\
+         --init-mode  window seeding: full (uniform) | partial (Eq. 4 \
+         within a part) | warm (carry across part/batch boundaries too); \
+         default: each experiment's own choice\n\
          --edge-balance   edge-balanced parallel chunks (degree-weighted \
          boundaries) instead of vertex-balanced"
     );
@@ -292,6 +306,23 @@ mod tests {
         assert_eq!(opts.simd, SimdPolicy::Scalar);
         assert!(flags(&["--simd", "avx512"]).is_err(), "unknown simd value");
         assert!(flags(&["--simd"]).is_err(), "missing simd value");
+    }
+
+    #[test]
+    fn init_mode_flag_parses() {
+        use tempopr_core::InitMode;
+        let (opts, _, _) = flags(&[]).unwrap();
+        assert!(opts.init_mode.is_none());
+        for (arg, mode) in [
+            ("full", InitMode::Full),
+            ("partial", InitMode::Partial),
+            ("warm", InitMode::Warm),
+        ] {
+            let (opts, _, _) = flags(&["--init-mode", arg]).unwrap();
+            assert_eq!(opts.init_mode, Some(mode));
+        }
+        assert!(flags(&["--init-mode", "hot"]).is_err(), "unknown mode");
+        assert!(flags(&["--init-mode"]).is_err(), "missing value");
     }
 
     #[test]

@@ -8,9 +8,24 @@
 //! small, nested otherwise. [`suggest`] encodes those rules and Fig. 12
 //! evaluates them.
 
-use crate::config::{KernelKind, ParallelMode, PostmortemConfig};
+use crate::config::{InitMode, KernelKind, ParallelMode, PostmortemConfig};
 use tempopr_graph::{EventLog, WindowSpec};
 use tempopr_kernel::{Partitioner, Scheduler};
+
+/// Mean event overlap below which seeding from the previous window is
+/// pure overhead: nearly nothing carries over, so every window should
+/// start from the uniform distribution.
+pub const OVERLAP_FULL_BELOW: f64 = 0.05;
+
+/// Mean event overlap a *dominated* (spiky) workload must reach before
+/// partial initialization is suggested at all: its consecutive windows
+/// differ too much for a stale seed to help below this.
+pub const OVERLAP_DOMINATED_PARTIAL: f64 = 0.25;
+
+/// Mean event overlap from which cross-boundary warm-start pays: enough
+/// of each window survives into the next that even the part- and
+/// batch-boundary seeds land close to the converged distribution.
+pub const OVERLAP_WARM_FROM: f64 = 0.5;
 
 /// Workload measurements the rules are based on.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +36,9 @@ pub struct WorkloadProfile {
     pub events_per_window: Vec<usize>,
     /// Share of total work carried by the single heaviest window.
     pub max_share: f64,
+    /// Mean fraction of a window's events shared with its predecessor
+    /// (0 for a single window): how much a previous-window seed can carry.
+    pub mean_overlap: f64,
     /// Worker threads the run will use.
     pub threads: usize,
 }
@@ -41,6 +59,28 @@ impl WorkloadProfile {
         } else {
             0.0
         };
+        // Shared events between consecutive windows: the window ranges
+        // intersect in time, so the shared count is one more indexed range
+        // lookup per boundary — same cost model as the per-window counts.
+        let mut overlap_sum = 0.0;
+        let mut boundaries = 0usize;
+        for (w, &events) in events_per_window.iter().enumerate().skip(1) {
+            let prev = spec.window(w - 1);
+            let cur = spec.window(w);
+            let (lo, hi) = (cur.start.max(prev.start), cur.end.min(prev.end));
+            let shared = if lo <= hi {
+                log.index_range_by_time(lo, hi).len()
+            } else {
+                0
+            };
+            overlap_sum += shared as f64 / events.max(1) as f64;
+            boundaries += 1;
+        }
+        let mean_overlap = if boundaries > 0 {
+            overlap_sum / boundaries as f64
+        } else {
+            0.0
+        };
         let threads = if threads > 0 {
             threads
         } else {
@@ -50,6 +90,7 @@ impl WorkloadProfile {
             windows: spec.count,
             events_per_window,
             max_share,
+            mean_overlap,
             threads,
         }
     }
@@ -58,6 +99,22 @@ impl WorkloadProfile {
     /// Epinions / HepTh regime of Fig. 4).
     pub fn is_dominated(&self) -> bool {
         self.max_share > 0.4
+    }
+
+    /// The initialization mode the measured overlap justifies — see the
+    /// decision table in DESIGN.md §9. Dominated workloads face a higher
+    /// bar: their windows are spiky, so even moderate *mean* overlap hides
+    /// boundaries where the seed is stale.
+    pub fn suggested_init_mode(&self) -> InitMode {
+        if self.mean_overlap < OVERLAP_FULL_BELOW
+            || (self.is_dominated() && self.mean_overlap < OVERLAP_DOMINATED_PARTIAL)
+        {
+            InitMode::Full
+        } else if self.mean_overlap >= OVERLAP_WARM_FROM {
+            InitMode::Warm
+        } else {
+            InitMode::Partial
+        }
     }
 }
 
@@ -78,13 +135,15 @@ pub fn suggest_for_profile(profile: &WorkloadProfile) -> PostmortemConfig {
         ParallelMode::Nested
     };
     PostmortemConfig {
-        // 0 = automatic: the engine sizes parts from the overlap ratio and
-        // kernel (see `engine::auto_multiwindows`).
+        // 0 = automatic: `engine::auto_multiwindows` sizes parts at about
+        // δ/sw windows for SpMV/push (≈2x traversal overhead, clamped to
+        // 2..=64 windows per part) and widens them to give every SpMM lane
+        // at least two regions (clamped to 2..=256).
         num_multiwindows: 0,
         kernel: KernelKind::SpMM { lanes: 16 },
         scheduler: Scheduler::new(Partitioner::Auto, 2),
         mode,
-        partial_init: true,
+        init_mode: profile.suggested_init_mode(),
         ..Default::default()
     }
 }
@@ -116,6 +175,12 @@ mod tests {
         assert_eq!(p.events_per_window.len(), spec.count);
         assert!(p.max_share > 0.0 && p.max_share <= 1.0);
         assert!(!p.is_dominated());
+        // delta = 20, sw = 10: half of each window's events carry over.
+        assert!(
+            (p.mean_overlap - 0.5).abs() < 0.1,
+            "mean overlap {}",
+            p.mean_overlap
+        );
     }
 
     #[test]
@@ -130,7 +195,13 @@ mod tests {
         let spec = WindowSpec::covering(&log, 50, 100).unwrap();
         let p = WorkloadProfile::measure(&log, &spec, 4);
         assert!(p.is_dominated(), "max share {}", p.max_share);
-        assert_eq!(suggest_for_profile(&p).mode, ParallelMode::ApplicationLevel);
+        let cfg = suggest_for_profile(&p);
+        assert_eq!(cfg.mode, ParallelMode::ApplicationLevel);
+        // sw > delta: the windows are disjoint, so seeding from the
+        // previous window cannot help — the old unconditional
+        // `partial_init: true` was wrong exactly here.
+        assert!(p.mean_overlap < OVERLAP_FULL_BELOW);
+        assert_eq!(cfg.init_mode, InitMode::Full);
     }
 
     #[test]
@@ -145,7 +216,32 @@ mod tests {
         assert_eq!(cfg.kernel, KernelKind::SpMM { lanes: 16 });
         assert_eq!(cfg.scheduler.partitioner, Partitioner::Auto);
         assert!(cfg.scheduler.granularity < 4);
-        assert!(cfg.partial_init);
+        // ~50% of each window carries over: warm-start territory.
+        assert_eq!(cfg.init_mode, InitMode::Warm);
+    }
+
+    #[test]
+    fn init_mode_follows_the_overlap_decision_table() {
+        let mut p = WorkloadProfile {
+            windows: 40,
+            events_per_window: vec![100; 40],
+            max_share: 1.0 / 40.0,
+            mean_overlap: 0.0,
+            threads: 4,
+        };
+        assert_eq!(p.suggested_init_mode(), InitMode::Full);
+        p.mean_overlap = 0.2;
+        assert_eq!(p.suggested_init_mode(), InitMode::Partial);
+        p.mean_overlap = 0.8;
+        assert_eq!(p.suggested_init_mode(), InitMode::Warm);
+        // A dominated workload needs more overlap before seeding pays.
+        p.max_share = 0.6;
+        p.mean_overlap = 0.2;
+        assert_eq!(p.suggested_init_mode(), InitMode::Full);
+        p.mean_overlap = 0.3;
+        assert_eq!(p.suggested_init_mode(), InitMode::Partial);
+        p.mean_overlap = 0.8;
+        assert_eq!(p.suggested_init_mode(), InitMode::Warm);
     }
 
     #[test]

@@ -84,6 +84,29 @@ impl Default for KernelKind {
     }
 }
 
+/// How each window's rank vector is seeded before iterating (§4.2 plus
+/// the cross-boundary warm-start extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitMode {
+    /// Every window starts from the uniform distribution (no reuse; the
+    /// paper's full-initialization baseline).
+    Full,
+    /// Eq. 4 partial initialization wherever the previous window's ranks
+    /// are already on-thread in the *same* multi-window part: consecutive
+    /// windows of an SpMV/push grain, and SpMM batches after the first.
+    /// Part and batch boundaries still start cold. The paper's default.
+    #[default]
+    Partial,
+    /// Partial initialization plus cross-boundary carry: the converged
+    /// ranks of one part's last window seed the next part's first window
+    /// (remapped between the parts' local vertex spaces), and the first
+    /// SpMM batch of a part seeds every lane from the carried vector.
+    /// Degenerate carries (no shared vertices, vanished rank mass) fall
+    /// back to full initialization — never NaN. In-order walks only:
+    /// part-parallel modes have no previous part to carry from.
+    Warm,
+}
+
 /// How much output each window retains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RetainMode {
@@ -116,9 +139,9 @@ pub struct PostmortemConfig {
     pub kernel: KernelKind,
     /// Partitioner + grain size for every parallel loop.
     pub scheduler: Scheduler,
-    /// Use partial initialization (Eq. 4) where the previous window's ranks
-    /// are available on-thread.
-    pub partial_init: bool,
+    /// How windows are seeded: full (uniform), partial (Eq. 4 within a
+    /// part), or warm (partial plus cross-part/cross-batch carry).
+    pub init_mode: InitMode,
     /// Serve each kernel's degree/activity setup from the per-window
     /// [`tempopr_graph::WindowIndex`] (built lazily, once per multi-window
     /// graph) instead of rescanning the part's temporal CSR per window.
@@ -150,7 +173,7 @@ impl Default for PostmortemConfig {
             mode: ParallelMode::Nested,
             kernel: KernelKind::default(),
             scheduler: Scheduler::default(),
-            partial_init: true,
+            init_mode: InitMode::Partial,
             use_window_index: true,
             threads: 0,
             retain: RetainMode::Full,
@@ -185,7 +208,7 @@ mod tests {
         let c = PostmortemConfig::default();
         assert_eq!(c.mode, ParallelMode::Nested);
         assert_eq!(c.kernel, KernelKind::SpMM { lanes: 16 });
-        assert!(c.partial_init);
+        assert_eq!(c.init_mode, InitMode::Partial);
         assert!(c.use_window_index);
         assert!(c.symmetric);
         assert_eq!(c.scheduler.partitioner, Partitioner::Auto);
@@ -198,6 +221,6 @@ mod tests {
         assert_eq!(c.mode, ParallelMode::ApplicationLevel);
         assert_eq!(c.kernel, KernelKind::SpMV);
         assert_eq!(c.scheduler.partitioner, Partitioner::Static);
-        assert!(c.partial_init);
+        assert_eq!(c.init_mode, InitMode::Partial);
     }
 }

@@ -17,8 +17,15 @@
 //!   into `lanes` contiguous regions and batches the `j`-th window of every
 //!   region, so every batch after the first partially initializes from the
 //!   previous batch (§4.4).
-//! - Partial initialization never crosses a multi-window boundary (§4.2):
-//!   vertex numberings differ between parts.
+//! - Under [`InitMode::Partial`] reuse never crosses a multi-window
+//!   boundary (§4.2): vertex numberings differ between parts. Under
+//!   [`InitMode::Warm`] the in-order walks carry the last converged vector
+//!   across the boundary by remapping it through the two parts' vertex
+//!   maps ([`crate::warmstart`]), and the SpMM path additionally seeds
+//!   every lane of a part's *first* batch from the carried vector — the
+//!   two places a cold start previously survived despite heavy overlap.
+//!   Part-parallel modes (window-level, nested SpMM over parts) have no
+//!   previous part on-thread and keep their boundary cold starts.
 //!
 //! ## Failure semantics
 //! Every window runs to a terminal [`WindowStatus`]; the ladder itself
@@ -32,7 +39,7 @@
 //! window completes normally. The run output carries a `degraded` flag; no
 //! failure is silent and no failure aborts the run.
 
-use crate::config::{KernelKind, ParallelMode, PostmortemConfig};
+use crate::config::{InitMode, KernelKind, ParallelMode, PostmortemConfig};
 use crate::error::EngineError;
 use crate::exec::{
     classify_converged, isolate, oracle_for, run_windows, Prefetcher, RecoveryPolicy,
@@ -40,6 +47,7 @@ use crate::exec::{
 };
 use crate::observe::TelemetryKernelBridge;
 use crate::result::{RunOutput, WindowOutput, WindowStatus};
+use crate::warmstart;
 use std::cell::Cell;
 use tempopr_graph::{EventLog, MultiWindowGraph, MultiWindowSet, WindowSpec};
 use tempopr_kernel::{
@@ -134,6 +142,14 @@ impl PostmortemEngine {
     /// ranks (even through the recovery ladder) are reported as
     /// [`WindowStatus::Failed`] and the output's `degraded` flag is set.
     pub fn run(&self) -> RunOutput {
+        self.tele.set_gauge(
+            "init.mode",
+            match self.cfg.init_mode {
+                InitMode::Full => 0.0,
+                InitMode::Partial => 1.0,
+                InitMode::Warm => 2.0,
+            },
+        );
         let mut out = match &self.pool {
             Some(p) => p.install(|| self.run_inner()),
             None => self.run_inner(),
@@ -159,6 +175,49 @@ impl PostmortemEngine {
         RunOutput {
             windows,
             degraded: false, // recomputed by finalize_status
+        }
+    }
+
+    /// Whether any previous-rank seeding is enabled (`Partial` or `Warm`).
+    fn reuse_ranks(&self) -> bool {
+        self.cfg.init_mode != InitMode::Full
+    }
+
+    /// Whether cross-boundary carry is enabled.
+    fn warm(&self) -> bool {
+        self.cfg.init_mode == InitMode::Warm
+    }
+
+    /// Decides how the next window of an in-order walk is seeded, given
+    /// which part produced the previous valid vector. A same-part
+    /// predecessor is used directly (the Eq. 4 path); under
+    /// [`InitMode::Warm`] a cross-part predecessor is remapped into
+    /// `carry_buf`, falling back to a cold start (and counting the
+    /// degenerate carry) when no usable mass survives the boundary.
+    fn seed_for(
+        &self,
+        part_idx: usize,
+        prev_part: Option<usize>,
+        prev: &[f64],
+        carry_buf: &mut Vec<f64>,
+    ) -> Seed {
+        match prev_part {
+            Some(p) if p == part_idx && self.reuse_ranks() => Seed::InPart,
+            Some(p) if p != part_idx && self.warm() => {
+                let prev_map = self.set.graphs()[p].vertex_map();
+                let new_map = self.set.graphs()[part_idx].vertex_map();
+                match warmstart::carry_ranks(prev_map, prev, new_map, carry_buf) {
+                    Some(_) => {
+                        self.tele.add("warmstart.seeded_windows", 1);
+                        Seed::Carried
+                    }
+                    None => {
+                        self.tele.add("warmstart.degenerate_windows", 1);
+                        Seed::Cold
+                    }
+                }
+            }
+            _ => Seed::Cold,
         }
     }
 
@@ -277,6 +336,8 @@ impl PostmortemEngine {
         let mut ws = PrWorkspace::default();
         let mut prev: Vec<f64> = Vec::new();
         let mut prev_part: Option<usize> = None;
+        let mut carry_buf: Vec<f64> = Vec::new();
+        let mut meter = SavingsMeter::default();
         let mut source = PartSource { engine: self };
         run_windows(
             &mut source,
@@ -285,10 +346,16 @@ impl PostmortemEngine {
             &self.tele,
             |_, w, &part_idx| {
                 let part = &self.set.graphs()[part_idx];
-                let warm = self.cfg.partial_init && prev_part == Some(part_idx);
+                let seed = self.seed_for(part_idx, prev_part, &prev, &mut carry_buf);
+                let seed_ref = match seed {
+                    Seed::Cold => None,
+                    Seed::InPart => Some(prev.as_slice()),
+                    Seed::Carried => Some(carry_buf.as_slice()),
+                };
                 let (stats, status, ranks, attempts) =
-                    self.single_window(part, w, warm.then_some(prev.as_slice()), inner, &mut ws);
+                    self.single_window(part, w, seed_ref, inner, &mut ws);
                 let valid = status.is_valid();
+                meter.record(&self.tele, seed, valid, stats.iterations);
                 let output = self.make_output(w, part, stats, &ranks, status, attempts);
                 // Keep this window's ranks as the next window's previous
                 // vector; after a failed window the next one starts cold.
@@ -328,6 +395,8 @@ impl PostmortemEngine {
         let mut ws = BlockingWorkspace::default();
         let mut prev: Vec<f64> = Vec::new();
         let mut prev_part: Option<usize> = None;
+        let mut carry_buf: Vec<f64> = Vec::new();
+        let mut meter = SavingsMeter::default();
         let mut source = PartSource { engine: self };
         run_windows(
             &mut source,
@@ -337,7 +406,12 @@ impl PostmortemEngine {
             |_, w, &part_idx| {
                 let part = &self.set.graphs()[part_idx];
                 let range = self.spec().window(w);
-                let warm = self.cfg.partial_init && prev_part == Some(part_idx);
+                let seed = self.seed_for(part_idx, prev_part, &prev, &mut carry_buf);
+                let seed_ref: Option<&[f64]> = match seed {
+                    Seed::Cold => None,
+                    Seed::InPart => Some(&prev),
+                    Seed::Carried => Some(&carry_buf),
+                };
                 let (pull, push) = (part.pull_tcsr(), part.tcsr());
                 let prcfg = PrConfig {
                     fault: self.cfg.faults.fault_for(w),
@@ -347,13 +421,11 @@ impl PostmortemEngine {
                 let attempt_no = Cell::new(0u16);
                 let (stats, status, override_ranks, attempts) = {
                     let ws = &mut ws;
-                    let prev_ref = &prev;
                     let attempt_no = &attempt_no;
                     let kernel = move |uniform: bool| {
-                        let init = if warm && !uniform {
-                            Init::Partial(prev_ref)
-                        } else {
-                            Init::Uniform
+                        let init = match seed_ref {
+                            Some(p) if !uniform => Init::Partial(p),
+                            _ => Init::Uniform,
                         };
                         attempt_no.set(attempt_no.get() + 1);
                         let bridge = TelemetryKernelBridge::new(&self.tele, attempt_no.get());
@@ -373,12 +445,13 @@ impl PostmortemEngine {
                     };
                     let oracle = || oracle_for(pull, push, range, &self.cfg.pr, MAX_ORACLE_ACTIVE);
                     self.executor()
-                        .drive(w as u32, warm, n_local, kernel, oracle)
+                        .drive(w as u32, seed_ref.is_some(), n_local, kernel, oracle)
                 };
                 if !status.is_valid() {
                     ws = BlockingWorkspace::default();
                 }
                 let valid = status.is_valid();
+                meter.record(&self.tele, seed, valid, stats.iterations);
                 let ranks: Vec<f64> = match override_ranks {
                     Some(x) => x,
                     None => ws.pr.x.clone(),
@@ -400,29 +473,70 @@ impl PostmortemEngine {
     fn run_spmm(&self, lanes: usize) -> Vec<WindowOutput> {
         let parts = self.set.num_parts();
         let sched = &self.cfg.scheduler;
+        // The part-parallel modes cannot carry across parts (each part may
+        // start before its predecessor finished); the carry chain belongs
+        // to the in-order modes, mirroring the SpMV grain semantics.
         match self.cfg.mode {
-            ParallelMode::Sequential => (0..parts)
-                .flat_map(|p| self.spmm_part(p, lanes, None))
-                .collect(),
-            ParallelMode::ApplicationLevel => (0..parts)
-                .flat_map(|p| self.spmm_part(p, lanes, Some(sched)))
-                .collect(),
+            ParallelMode::Sequential => self.spmm_in_order(lanes, None),
+            ParallelMode::ApplicationLevel => self.spmm_in_order(lanes, Some(sched)),
             ParallelMode::WindowLevel => sched.map_reduce_range(
                 parts,
                 Vec::new(),
-                |r| r.flat_map(|p| self.spmm_part(p, lanes, None)).collect(),
+                |r| {
+                    r.flat_map(|p| {
+                        self.spmm_part(p, lanes, None, None, &mut SavingsMeter::default())
+                            .0
+                    })
+                    .collect()
+                },
                 concat,
             ),
             ParallelMode::Nested => sched.map_reduce_range(
                 parts,
                 Vec::new(),
                 |r| {
-                    r.flat_map(|p| self.spmm_part(p, lanes, Some(sched)))
-                        .collect()
+                    r.flat_map(|p| {
+                        self.spmm_part(p, lanes, Some(sched), None, &mut SavingsMeter::default())
+                            .0
+                    })
+                    .collect()
                 },
                 concat,
             ),
         }
+    }
+
+    /// The in-order SpMM walk over parts, threading the cross-part carry:
+    /// each part's last converged window seeds the next part's first batch
+    /// (remapped between local vertex spaces) under [`InitMode::Warm`].
+    fn spmm_in_order(&self, lanes: usize, inner: Option<&Scheduler>) -> Vec<WindowOutput> {
+        let mut out: Vec<WindowOutput> = Vec::new();
+        let mut meter = SavingsMeter::default();
+        // The previous part's final local ranks, and which part they're in.
+        let mut carry: Option<(usize, Vec<f64>)> = None;
+        let mut mapped: Vec<f64> = Vec::new();
+        for p in 0..self.set.num_parts() {
+            let seed: Option<&[f64]> = match &carry {
+                Some((q, ranks)) if self.warm() => {
+                    let prev_map = self.set.graphs()[*q].vertex_map();
+                    let new_map = self.set.graphs()[p].vertex_map();
+                    match warmstart::carry_ranks(prev_map, ranks, new_map, &mut mapped) {
+                        Some(_) => Some(mapped.as_slice()),
+                        None => {
+                            self.tele.add("warmstart.degenerate_windows", 1);
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
+            let (mut w_out, carry_out) = self.spmm_part(p, lanes, inner, seed, &mut meter);
+            out.append(&mut w_out);
+            // A part whose last window failed breaks the chain: the next
+            // part starts cold rather than reusing a poisoned seed.
+            carry = carry_out.map(|ranks| (p, ranks));
+        }
+        out
     }
 
     /// Computes every window of one multi-window graph with the batched
@@ -434,25 +548,47 @@ impl PostmortemEngine {
     /// SpMV path instead (the batch kernel cannot target a fault at one
     /// window), and lanes that fail or stall inside a batch escalate
     /// individually — a poisoned lane never drags its batch-mates down.
+    ///
+    /// `carry` is the previous part's final converged vector, already
+    /// remapped into this part's local vertex space: when present it seeds
+    /// the first window of *every* region, closing the hole where batch 0
+    /// always cold-started (and where a vector length of `nw` made every
+    /// window batch-0, silently erasing partial init entirely). Returns
+    /// the outputs plus the part's own carry-out — the last window's local
+    /// ranks, `None` if that window failed (a poisoned seed must not
+    /// escape) or when warm carry is off.
     fn spmm_part(
         &self,
         part_idx: usize,
         lanes: usize,
         inner: Option<&Scheduler>,
-    ) -> Vec<WindowOutput> {
+        carry: Option<&[f64]>,
+        meter: &mut SavingsMeter,
+    ) -> (Vec<WindowOutput>, Option<Vec<f64>>) {
         let part = &self.set.graphs()[part_idx];
         let w0 = part.windows().start;
         let nw = part.num_windows();
+        let reuse = self.reuse_ranks();
         let mut vl = lanes.clamp(1, tempopr_kernel::MAX_LANES).min(nw);
-        if self.cfg.partial_init {
+        if reuse {
             // Regions must span at least two windows or there is only one
             // batch and nothing ever gets partially initialized — the
             // paper's warning that a high vector length erodes the partial
             // initialization benefit, resolved in favor of partial init.
+            // (Warm carry additionally seeds batch 0, but the in-part
+            // chain is still worth preserving.)
             vl = vl.min((nw / 2).max(1));
         }
         let region = nw.div_ceil(vl);
         let mut prev: Vec<Option<Vec<f64>>> = vec![None; vl];
+        if let Some(seed) = carry {
+            // Seed every region's first window from the carried vector.
+            let seeded = (0..vl).filter(|r| r * region < nw).count();
+            for slot in prev.iter_mut().take(seeded) {
+                *slot = Some(seed.to_vec());
+            }
+            self.tele.add("warmstart.seeded_windows", seeded as u64);
+        }
         let mut ws = SpmmWorkspace::default();
         let mut pr_ws = PrWorkspace::default();
         // One deinterleave buffer for the whole partition: every converged
@@ -460,6 +596,17 @@ impl PostmortemEngine {
         // vector per lane per batch.
         let mut lane_buf: Vec<f64> = Vec::new();
         let mut out: Vec<WindowOutput> = Vec::with_capacity(nw);
+        // How a lane's window is being seeded this batch: batch 0 only ever
+        // holds the cross-part carry; later batches hold in-part chains.
+        let seed_kind = |j: usize, slot: &Option<Vec<f64>>| {
+            if !reuse || slot.is_none() {
+                Seed::Cold
+            } else if j == 0 {
+                Seed::Carried
+            } else {
+                Seed::InPart
+            }
+        };
         for j in 0..region {
             // Lane r handles part-local window r*region + j, if it exists.
             let mut lanes_now: Vec<usize> = Vec::with_capacity(vl);
@@ -479,10 +626,11 @@ impl PostmortemEngine {
                 .partition(|&lw| self.cfg.faults.fault_for(w0 + lw).is_none());
             for &lw in &faulted {
                 let r = lw / region;
-                let warm = self.cfg.partial_init && j > 0;
-                let prev_ref = if warm { prev[r].as_deref() } else { None };
+                let kind = seed_kind(j, &prev[r]);
+                let prev_ref = if reuse { prev[r].as_deref() } else { None };
                 let (stats, status, ranks, attempts) =
                     self.single_window(part, w0 + lw, prev_ref, inner, &mut pr_ws);
+                meter.record(&self.tele, kind, status.is_valid(), stats.iterations);
                 prev[r] = status.is_valid().then(|| ranks.clone());
                 out.push(self.make_output(w0 + lw, part, stats, &ranks, status, attempts));
             }
@@ -503,7 +651,7 @@ impl PostmortemEngine {
                     .iter()
                     .map(|&lw| {
                         let r = lw / region;
-                        match (&prev[r], self.cfg.partial_init && j > 0) {
+                        match (&prev[r], reuse) {
                             (Some(p), true) => Init::Partial(p),
                             _ => Init::Uniform,
                         }
@@ -550,9 +698,11 @@ impl PostmortemEngine {
                     for (i, &lw) in clean.iter().enumerate() {
                         let w = w0 + lw;
                         let st = stats[i];
+                        let kind = seed_kind(j, &prev[lw / region]);
                         if st.converged || self.cfg.pr.max_iters == 0 {
                             let status = classify_converged(&st);
                             ws.copy_lane_into(i, nlanes, &mut lane_buf);
+                            meter.record(&self.tele, kind, true, st.iterations);
                             out.push(self.make_output(w, part, st, &lane_buf, status, 1));
                             // Reuse the warm-start slot's allocation when
                             // its length already matches.
@@ -567,10 +717,10 @@ impl PostmortemEngine {
                             // Per-lane escalation: recompute this window
                             // alone through the recovery ladder.
                             let r = lw / region;
-                            let warm = self.cfg.partial_init && j > 0;
-                            let prev_ref = if warm { prev[r].as_deref() } else { None };
+                            let prev_ref = if reuse { prev[r].as_deref() } else { None };
                             let (stats2, status, ranks, attempts) =
                                 self.single_window(part, w, prev_ref, inner, &mut pr_ws);
+                            meter.record(&self.tele, kind, status.is_valid(), stats2.iterations);
                             prev[r] = status.is_valid().then(|| ranks.clone());
                             out.push(self.make_output(w, part, stats2, &ranks, status, attempts));
                         }
@@ -584,17 +734,26 @@ impl PostmortemEngine {
                     }
                     for &lw in &clean {
                         let r = lw / region;
-                        let warm = self.cfg.partial_init && j > 0;
-                        let prev_ref = if warm { prev[r].as_deref() } else { None };
+                        let kind = seed_kind(j, &prev[r]);
+                        let prev_ref = if reuse { prev[r].as_deref() } else { None };
                         let (stats, status, ranks, attempts) =
                             self.single_window(part, w0 + lw, prev_ref, inner, &mut pr_ws);
+                        meter.record(&self.tele, kind, status.is_valid(), stats.iterations);
                         prev[r] = status.is_valid().then(|| ranks.clone());
                         out.push(self.make_output(w0 + lw, part, stats, &ranks, status, attempts));
                     }
                 }
             }
         }
-        out
+        // The part's own carry: its last window's converged local ranks.
+        // `prev` tracks validity per region, so a failed final window (or
+        // one that never ran) yields `None` and the chain breaks cleanly.
+        let carry_out = if self.warm() && nw > 0 {
+            prev[(nw - 1) / region].take()
+        } else {
+            None
+        };
+        (out, carry_out)
     }
 
     // --- Shared helpers ---------------------------------------------------
@@ -673,6 +832,48 @@ impl Prefetcher for PartIndexPrefetcher<'_> {
     }
 }
 
+/// How one window's rank vector was seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seed {
+    /// Uniform start (full init, a chain break, or a degenerate carry).
+    Cold,
+    /// Eq. 4 partial init from a same-part predecessor.
+    InPart,
+    /// Cross-boundary carry remapped through the vertex maps.
+    Carried,
+}
+
+/// Running estimate behind the `warmstart.iterations_saved` counter: each
+/// carried window is credited with the difference between the chain's most
+/// recent *cold* window's iteration count and its own. It is an estimate —
+/// the honest number would re-run every carried window cold — but cold
+/// windows under the same configuration are the natural yardstick, and the
+/// counter lives outside the deterministic trace projection.
+#[derive(Debug, Default)]
+struct SavingsMeter {
+    cold_baseline: Option<u64>,
+}
+
+impl SavingsMeter {
+    fn record(&mut self, tele: &Telemetry, seed: Seed, valid: bool, iterations: usize) {
+        if !valid {
+            return;
+        }
+        match seed {
+            Seed::Cold => self.cold_baseline = Some(iterations as u64),
+            Seed::Carried => {
+                if let Some(base) = self.cold_baseline {
+                    tele.add(
+                        "warmstart.iterations_saved",
+                        base.saturating_sub(iterations as u64),
+                    );
+                }
+            }
+            Seed::InPart => {}
+        }
+    }
+}
+
 fn concat(mut a: Vec<WindowOutput>, mut b: Vec<WindowOutput>) -> Vec<WindowOutput> {
     a.append(&mut b);
     a
@@ -699,7 +900,7 @@ pub fn auto_multiwindows(spec: &WindowSpec, kernel: KernelKind) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{KernelKind, ParallelMode, PostmortemConfig, RetainMode};
+    use crate::config::{InitMode, KernelKind, ParallelMode, PostmortemConfig, RetainMode};
     use crate::result::SparseRanks;
     use tempopr_graph::Event;
     use tempopr_kernel::{Partitioner, PrConfig};
@@ -808,12 +1009,12 @@ mod tests {
     }
 
     #[test]
-    fn partial_init_does_not_change_results() {
-        for partial in [false, true] {
+    fn init_mode_does_not_change_results() {
+        for init_mode in [InitMode::Full, InitMode::Partial, InitMode::Warm] {
             check_against_reference(PostmortemConfig {
                 kernel: KernelKind::SpMV,
                 mode: ParallelMode::ApplicationLevel,
-                partial_init: partial,
+                init_mode,
                 pr: tight_cfg(),
                 ..Default::default()
             });
@@ -837,10 +1038,10 @@ mod tests {
         }
         let log = EventLog::from_unsorted(events, 30).unwrap();
         let spec = WindowSpec::covering(&log, 200, 25).unwrap(); // heavy overlap
-        let mk = |partial| PostmortemConfig {
+        let mk = |init_mode| PostmortemConfig {
             kernel: KernelKind::SpMV,
             mode: ParallelMode::Sequential,
-            partial_init: partial,
+            init_mode,
             num_multiwindows: 2,
             pr: PrConfig {
                 tol: 1e-10,
@@ -848,14 +1049,13 @@ mod tests {
             },
             ..Default::default()
         };
-        let with = PostmortemEngine::new(&log, spec, mk(true)).unwrap().run();
-        let without = PostmortemEngine::new(&log, spec, mk(false)).unwrap().run();
-        assert!(
-            with.total_iterations() < without.total_iterations(),
-            "partial {} vs full {}",
-            with.total_iterations(),
-            without.total_iterations()
-        );
+        let run = |m| PostmortemEngine::new(&log, spec, mk(m)).unwrap().run();
+        let warm = run(InitMode::Warm).total_iterations();
+        let partial = run(InitMode::Partial).total_iterations();
+        let full = run(InitMode::Full).total_iterations();
+        assert!(partial < full, "partial {partial} vs full {full}");
+        // Warm additionally seeds the part-boundary window.
+        assert!(warm < partial, "warm {warm} vs partial {partial}");
     }
 
     #[test]

@@ -35,9 +35,12 @@ pub mod exec;
 pub mod observe;
 pub mod offline;
 pub mod result;
+pub mod warmstart;
 
 pub use advisor::{suggest, suggest_for_profile, suggested_multiwindows, WorkloadProfile};
-pub use config::{FaultPlan, KernelKind, ParallelMode, PostmortemConfig, RetainMode, WindowFault};
+pub use config::{
+    FaultPlan, InitMode, KernelKind, ParallelMode, PostmortemConfig, RetainMode, WindowFault,
+};
 pub use engine::{auto_multiwindows, PostmortemEngine};
 pub use error::{EngineError, Phase};
 pub use exec::{Prefetcher, RecoveryPolicy, WindowExecutor, WindowSource, MAX_ORACLE_ACTIVE};

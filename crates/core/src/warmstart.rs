@@ -1,0 +1,128 @@
+//! Cross-boundary warm-start seeding ([`crate::config::InitMode::Warm`]).
+//!
+//! Partial initialization (Eq. 4) only ever reuses ranks *inside* one
+//! multi-window part: the previous vector lives in the part's local vertex
+//! space, and local numberings differ between parts. This module carries a
+//! converged rank vector across a part boundary by remapping it through the
+//! two parts' sorted local→global vertex maps, so the Eq. 4 machinery in
+//! [`tempopr_kernel::pagerank::initialize`] (shared vertices keep scaled mass,
+//! newcomers take the uniform share) applies across the boundary too.
+//!
+//! The carry is a *seed*, never an answer: the kernel still iterates to its
+//! configured tolerance, so ranks are unchanged up to the usual
+//! starting-point noise (the warm-start parity tests bound it). A carry
+//! with no surviving vertices or with vanished rank mass is rejected here
+//! — the caller falls back to full initialization instead of letting a
+//! zero denominator reach the renormalization.
+
+/// What a successful carry brought across the boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarryStats {
+    /// Vertices of the previous vector that exist in the new part.
+    pub shared: usize,
+    /// Total rank mass those vertices carried.
+    pub mass: f64,
+}
+
+/// Rank mass below which a carry is treated as degenerate: seeding from a
+/// distribution this close to zero would amplify floating-point noise in
+/// the renormalization instead of saving iterations.
+pub const MIN_CARRY_MASS: f64 = 1e-12;
+
+/// Remaps `prev_ranks` (local to the part described by `prev_map`) into
+/// the vertex space of `new_map`, writing into `out` (resized to
+/// `new_map.len()`, zero where a vertex has no carried rank).
+///
+/// Both maps are sorted local→global vertex maps
+/// ([`tempopr_graph::MultiWindowGraph::vertex_map`]), so the remap is a
+/// single merge-join: `O(|V_prev| + |V_new|)`. Only finite, strictly
+/// positive ranks are carried — a poisoned entry (NaN/Inf from a faulted
+/// kernel) is dropped rather than propagated.
+///
+/// Returns `None` — and leaves `out` unusable as a seed — when the carry
+/// is degenerate: the vertex sets are disjoint, or the carried mass is
+/// below [`MIN_CARRY_MASS`]. Callers must fall back to full (uniform)
+/// initialization in that case.
+pub fn carry_ranks(
+    prev_map: &[u32],
+    prev_ranks: &[f64],
+    new_map: &[u32],
+    out: &mut Vec<f64>,
+) -> Option<CarryStats> {
+    debug_assert_eq!(prev_map.len(), prev_ranks.len());
+    out.clear();
+    out.resize(new_map.len(), 0.0);
+    let mut shared = 0usize;
+    let mut mass = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prev_map.len() && j < new_map.len() {
+        match prev_map[i].cmp(&new_map[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let r = prev_ranks[i];
+                if r.is_finite() && r > 0.0 {
+                    out[j] = r;
+                    shared += 1;
+                    mass += r;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (shared > 0 && mass > MIN_CARRY_MASS).then_some(CarryStats { shared, mass })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_remaps_shared_vertices() {
+        // Prev part holds globals {1,3,5,7}, new part {3,4,5,9}.
+        let prev_map = [1u32, 3, 5, 7];
+        let prev = [0.1, 0.2, 0.3, 0.4];
+        let new_map = [3u32, 4, 5, 9];
+        let mut out = Vec::new();
+        let stats = carry_ranks(&prev_map, &prev, &new_map, &mut out).unwrap();
+        assert_eq!(out, vec![0.2, 0.0, 0.3, 0.0]);
+        assert_eq!(stats.shared, 2);
+        assert!((stats.mass - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disjoint_vertex_sets_are_degenerate() {
+        let mut out = Vec::new();
+        assert_eq!(
+            carry_ranks(&[0, 1, 2], &[0.3, 0.3, 0.4], &[5, 6, 7], &mut out),
+            None
+        );
+    }
+
+    #[test]
+    fn vanished_mass_is_degenerate() {
+        // Shared vertices exist but carry (essentially) no rank: the old
+        // zero-denominator path, now rejected before renormalization.
+        let mut out = Vec::new();
+        assert_eq!(carry_ranks(&[0, 1], &[0.0, 1e-15], &[0, 1], &mut out), None);
+    }
+
+    #[test]
+    fn poisoned_entries_are_dropped_not_propagated() {
+        let prev = [f64::NAN, 0.5, f64::INFINITY];
+        let mut out = Vec::new();
+        let stats = carry_ranks(&[0, 1, 2], &prev, &[0, 1, 2], &mut out).unwrap();
+        assert_eq!(stats.shared, 1);
+        assert_eq!(out, vec![0.0, 0.5, 0.0]);
+        assert!(out.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn empty_inputs_are_degenerate() {
+        let mut out = Vec::new();
+        assert_eq!(carry_ranks(&[], &[], &[0, 1], &mut out), None);
+        assert_eq!(out, vec![0.0, 0.0]);
+        assert_eq!(carry_ranks(&[0], &[1.0], &[], &mut out), None);
+    }
+}

@@ -232,6 +232,12 @@ fn run_streaming_inner(
             ..cfg.pr
         };
         let was_partial = have_prev && cfg.incremental != IncrementalMode::Recompute;
+        if was_partial {
+            // Parity with the postmortem engine's warm-start accounting:
+            // every window seeded from the previous one counts here, so
+            // the two models' reuse rates compare directly.
+            tele.add("warmstart.seeded_windows", 1);
+        }
         let attempt_no = Cell::new(0u16);
         // The kernels never mutate the store, so an error or panic poisons
         // only this window: the replay continues, but the warm-start chain

@@ -59,7 +59,7 @@ pub use tempopr_telemetry as telemetry;
 pub mod prelude {
     pub use tempopr_analytics::{temporal_structure, StructureConfig, StructureSummary};
     pub use tempopr_core::{
-        run_offline, run_offline_traced, suggest, EngineError, FaultPlan, KernelKind,
+        run_offline, run_offline_traced, suggest, EngineError, FaultPlan, InitMode, KernelKind,
         OfflineConfig, ParallelMode, PostmortemConfig, PostmortemEngine, RecoveryKind,
         RecoveryPolicy, RetainMode, RunOutput, SparseRanks, WindowFault, WindowOutput,
         WindowStatus,

@@ -123,13 +123,13 @@ fn directed_ranks_differ_from_symmetric() {
 fn directed_partial_init_still_exact() {
     let log = directed_log();
     let spec = WindowSpec::covering(&log, 150, 30).unwrap();
-    let run = |partial| {
+    let run = |init_mode| {
         PostmortemEngine::new(
             &log,
             spec,
             PostmortemConfig {
                 symmetric: false,
-                partial_init: partial,
+                init_mode,
                 pr: tight_pr(),
                 ..Default::default()
             },
@@ -137,8 +137,8 @@ fn directed_partial_init_still_exact() {
         .unwrap()
         .run()
     };
-    let a = run(true);
-    let b = run(false);
+    let a = run(InitMode::Partial);
+    let b = run(InitMode::Full);
     for (x, y) in a.windows.iter().zip(b.windows.iter()) {
         assert!(
             (x.fingerprint - y.fingerprint).abs() < 1e-8,

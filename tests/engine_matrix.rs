@@ -1,7 +1,7 @@
 //! Execution-configuration matrix: every combination of parallelization
-//! level, kernel, partitioner, partial-init flag, and multi-window count
-//! must produce the same rankings — the paper's execution knobs change
-//! cost, never results.
+//! level, kernel, partitioner, init mode, and multi-window count must
+//! produce the same rankings — the paper's execution knobs change cost,
+//! never results.
 
 use tempopr::prelude::*;
 
@@ -59,13 +59,13 @@ fn full_execution_matrix_agrees() {
         ] {
             for partitioner in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
                 for granularity in [1usize, 7, 64] {
-                    for partial_init in [false, true] {
+                    for init_mode in [InitMode::Full, InitMode::Partial, InitMode::Warm] {
                         for mw in [1usize, 4, 16] {
                             let cfg = PostmortemConfig {
                                 mode,
                                 kernel,
                                 scheduler: Scheduler::new(partitioner, granularity),
-                                partial_init,
+                                init_mode,
                                 num_multiwindows: mw,
                                 pr: tight_pr(),
                                 ..Default::default()
@@ -74,7 +74,7 @@ fn full_execution_matrix_agrees() {
                             for (w, (a, b)) in baseline.iter().zip(got.iter()).enumerate() {
                                 assert!(
                                     (a - b).abs() < 1e-8,
-                                    "window {w} differs under {mode:?}/{kernel:?}/{partitioner:?}/g{granularity}/pi{partial_init}/mw{mw}: {a} vs {b}"
+                                    "window {w} differs under {mode:?}/{kernel:?}/{partitioner:?}/g{granularity}/{init_mode:?}/mw{mw}: {a} vs {b}"
                                 );
                             }
                             configs_checked += 1;
@@ -84,7 +84,7 @@ fn full_execution_matrix_agrees() {
             }
         }
     }
-    assert_eq!(configs_checked, 4 * 4 * 3 * 3 * 2 * 3);
+    assert_eq!(configs_checked, 4 * 4 * 3 * 3 * 3 * 3);
 }
 
 #[test]
@@ -135,14 +135,14 @@ fn iteration_counts_drop_with_partial_init_under_all_kernels() {
         KernelKind::SpMM { lanes: 8 },
         KernelKind::PushBlocking,
     ] {
-        let run = |partial| {
+        let run = |init_mode| {
             PostmortemEngine::new(
                 &log,
                 spec,
                 PostmortemConfig {
                     kernel,
                     mode: ParallelMode::Sequential,
-                    partial_init: partial,
+                    init_mode,
                     num_multiwindows: 2,
                     ..Default::default()
                 },
@@ -151,11 +151,16 @@ fn iteration_counts_drop_with_partial_init_under_all_kernels() {
             .run()
             .total_iterations()
         };
-        let with = run(true);
-        let without = run(false);
+        let full = run(InitMode::Full);
+        let partial = run(InitMode::Partial);
+        let warm = run(InitMode::Warm);
         assert!(
-            with < without,
-            "{kernel:?}: partial {with} >= full {without}"
+            partial < full,
+            "{kernel:?}: partial {partial} >= full {full}"
+        );
+        assert!(
+            warm <= partial,
+            "{kernel:?}: warm {warm} > partial {partial}"
         );
     }
 }

@@ -339,7 +339,7 @@ fn parity_runs(fault: FaultKind, faulted: usize) -> Vec<(&'static str, RunOutput
         mode: ParallelMode::Sequential,
         pr: tight_pr(),
         num_multiwindows: 1,
-        partial_init: false,
+        init_mode: InitMode::Full,
         faults: plan.clone(),
         ..Default::default()
     };

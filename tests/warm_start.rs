@@ -1,0 +1,388 @@
+//! Cross-window warm-start: seeding window w+1 from window w's converged
+//! ranks across part and batch boundaries. Covers the execution matrix
+//! (init mode x partitioner x pipeline x lane count), iteration savings as
+//! overlap grows, the degenerate disjoint-window fallback, the batched
+//! SpMM first-region seeding, and poisoned-seed protection after a fault.
+
+use tempopr::prelude::*;
+
+fn tight_pr() -> PrConfig {
+    PrConfig {
+        alpha: 0.15,
+        tol: 1e-11,
+        max_iters: 400,
+        ..PrConfig::default()
+    }
+}
+
+/// A stationary hub-heavy workload: the event pattern repeats every 40
+/// ticks, so every window of the same width sees the same graph and the
+/// converged ranks of consecutive overlapping windows are nearly equal —
+/// the regime where a carried seed is most valuable.
+fn stationary_log() -> EventLog {
+    let mut events = Vec::new();
+    for i in 0..4000u32 {
+        let (u, v) = if i % 2 == 0 {
+            (0, 1 + i % 40)
+        } else {
+            (1 + (i * 7) % 40, 1 + (i * 13) % 40)
+        };
+        if u != v {
+            events.push(Event::new(u, v, i as i64));
+        }
+    }
+    EventLog::from_unsorted(events, 41).unwrap()
+}
+
+/// `stationary_log` windowed at a given overlap ratio: `sw = delta * (1 -
+/// overlap)`.
+fn spec_at_overlap(log: &EventLog, overlap: f64) -> WindowSpec {
+    let delta = 400i64;
+    let sw = ((delta as f64) * (1.0 - overlap)).round().max(1.0) as i64;
+    WindowSpec::covering(log, delta, sw).unwrap()
+}
+
+fn run_with(log: &EventLog, spec: WindowSpec, cfg: PostmortemConfig) -> RunOutput {
+    PostmortemEngine::new(log, spec, cfg).unwrap().run()
+}
+
+fn fingerprints(out: &RunOutput) -> Vec<f64> {
+    out.windows.iter().map(|w| w.fingerprint).collect()
+}
+
+fn median_iterations(out: &RunOutput) -> usize {
+    let mut iters: Vec<usize> = out.windows.iter().map(|w| w.stats.iterations).collect();
+    iters.sort_unstable();
+    iters[iters.len() / 2]
+}
+
+// --- Matrix: warm results match full init everywhere ---------------------
+
+#[test]
+fn warm_matches_full_across_partitioner_pipeline_and_lanes() {
+    let log = stationary_log();
+    let spec = spec_at_overlap(&log, 0.5);
+    let baseline = run_with(
+        &log,
+        spec,
+        PostmortemConfig {
+            mode: ParallelMode::Sequential,
+            kernel: KernelKind::SpMV,
+            init_mode: InitMode::Full,
+            pr: tight_pr(),
+            num_multiwindows: 2,
+            ..Default::default()
+        },
+    );
+    let base_fp = fingerprints(&baseline);
+    for init_mode in [InitMode::Full, InitMode::Partial, InitMode::Warm] {
+        for partitioner in [Partitioner::Auto, Partitioner::Simple, Partitioner::Static] {
+            for pipeline in [false, true] {
+                for kernel in [
+                    KernelKind::SpMV,
+                    KernelKind::SpMM { lanes: 4 },
+                    KernelKind::SpMM { lanes: 16 },
+                ] {
+                    let out = run_with(
+                        &log,
+                        spec,
+                        PostmortemConfig {
+                            mode: ParallelMode::ApplicationLevel,
+                            kernel,
+                            init_mode,
+                            scheduler: Scheduler::new(partitioner, 2),
+                            pipeline,
+                            pr: tight_pr(),
+                            num_multiwindows: 2,
+                            ..Default::default()
+                        },
+                    );
+                    assert!(!out.degraded);
+                    for (w, (a, b)) in base_fp.iter().zip(fingerprints(&out)).enumerate() {
+                        assert!(
+                            (a - b).abs() < 1e-8,
+                            "window {w} differs under \
+                             {init_mode:?}/{partitioner:?}/pipeline={pipeline}/{kernel:?}: \
+                             {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- Savings: iterations shrink as overlap grows --------------------------
+
+#[test]
+fn warm_iterations_non_increasing_with_overlap() {
+    let log = stationary_log();
+    let mut mean_per_window = Vec::new();
+    for overlap in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let spec = spec_at_overlap(&log, overlap);
+        let out = run_with(
+            &log,
+            spec,
+            PostmortemConfig {
+                mode: ParallelMode::Sequential,
+                kernel: KernelKind::SpMV,
+                init_mode: InitMode::Warm,
+                num_multiwindows: 2,
+                ..Default::default()
+            },
+        );
+        assert!(!out.degraded);
+        mean_per_window.push(out.total_iterations() as f64 / out.windows.len() as f64);
+    }
+    for pair in mean_per_window.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-9,
+            "mean iterations grew with overlap: {mean_per_window:?}"
+        );
+    }
+}
+
+#[test]
+fn warm_beats_partial_median_at_half_overlap() {
+    // Two-window parts: under partial init every part's first window is a
+    // cold start (half of all windows), while warm carries across the
+    // boundaries, so the medians must separate.
+    let log = stationary_log();
+    let spec = spec_at_overlap(&log, 0.5);
+    let run = |init_mode| {
+        run_with(
+            &log,
+            spec,
+            PostmortemConfig {
+                mode: ParallelMode::Sequential,
+                kernel: KernelKind::SpMV,
+                init_mode,
+                num_multiwindows: spec.count / 2,
+                ..Default::default()
+            },
+        )
+    };
+    let full = run(InitMode::Full);
+    let partial = run(InitMode::Partial);
+    let warm = run(InitMode::Warm);
+    assert!(
+        median_iterations(&warm) < median_iterations(&partial),
+        "warm median {} !< partial median {}",
+        median_iterations(&warm),
+        median_iterations(&partial)
+    );
+    assert!(warm.total_iterations() < partial.total_iterations());
+    assert!(partial.total_iterations() < full.total_iterations());
+}
+
+// --- Degenerate: disjoint windows fall back to full, bit-identically ------
+
+/// Eight windows, each on its own block of four vertices: no window shares
+/// an active vertex with its predecessor, in or across parts.
+fn disjoint_era_log() -> (EventLog, WindowSpec) {
+    let mut events = Vec::new();
+    for w in 0..8u32 {
+        let base = 4 * w;
+        for i in 0..40u32 {
+            let u = base + i % 4;
+            let v = base + (i + 1 + i % 2) % 4;
+            if u != v {
+                events.push(Event::new(u, v, (w as i64) * 100 + (i as i64) % 100));
+            }
+        }
+    }
+    let log = EventLog::from_unsorted(events, 32).unwrap();
+    let spec = WindowSpec::new(0, 100, 100, 8).unwrap();
+    (log, spec)
+}
+
+#[test]
+fn disjoint_windows_fall_back_to_full_init_bit_identically() {
+    let (log, spec) = disjoint_era_log();
+    for kernel in [
+        KernelKind::SpMV,
+        KernelKind::SpMM { lanes: 4 },
+        KernelKind::PushBlocking,
+    ] {
+        let run = |init_mode| {
+            run_with(
+                &log,
+                spec,
+                PostmortemConfig {
+                    mode: ParallelMode::Sequential,
+                    kernel,
+                    init_mode,
+                    num_multiwindows: 2,
+                    pr: tight_pr(),
+                    ..Default::default()
+                },
+            )
+        };
+        let full = run(InitMode::Full);
+        let warm = run(InitMode::Warm);
+        assert!(!warm.degraded);
+        for (a, b) in full.windows.iter().zip(warm.windows.iter()) {
+            assert!(
+                a.fingerprint.to_bits() == b.fingerprint.to_bits(),
+                "{kernel:?}: window {} fingerprint {} vs {} — degenerate \
+                 carry must be a bit-exact full-init fallback",
+                a.window,
+                a.fingerprint,
+                b.fingerprint
+            );
+            assert!(a.fingerprint.is_finite());
+        }
+        // Same iteration counts too: nothing was seeded.
+        assert_eq!(
+            full.total_iterations(),
+            warm.total_iterations(),
+            "{kernel:?}"
+        );
+    }
+}
+
+#[test]
+fn disjoint_windows_produce_no_nan_under_warm() {
+    let (log, spec) = disjoint_era_log();
+    let out = run_with(
+        &log,
+        spec,
+        PostmortemConfig {
+            mode: ParallelMode::Sequential,
+            init_mode: InitMode::Warm,
+            num_multiwindows: 2,
+            ..Default::default()
+        },
+    );
+    assert!(!out.degraded);
+    for w in &out.windows {
+        assert!(w.status.is_valid());
+        for &r in &w.ranks.as_ref().unwrap().values {
+            assert!(r.is_finite() && r >= 0.0, "window {}: rank {r}", w.window);
+        }
+    }
+}
+
+// --- Batched SpMM: the first region of a new part seeds from the carry ----
+
+#[test]
+fn spmm_first_batch_of_next_part_seeds_from_carry() {
+    let log = stationary_log();
+    let spec = spec_at_overlap(&log, 0.5);
+    let run = |init_mode| {
+        run_with(
+            &log,
+            spec,
+            PostmortemConfig {
+                mode: ParallelMode::Sequential,
+                kernel: KernelKind::SpMM { lanes: 8 },
+                init_mode,
+                num_multiwindows: 2,
+                ..Default::default()
+            },
+        )
+    };
+    let full = run(InitMode::Full);
+    let partial = run(InitMode::Partial);
+    let warm = run(InitMode::Warm);
+    assert!(warm.total_iterations() < partial.total_iterations());
+    assert!(partial.total_iterations() < full.total_iterations());
+    // The second part's first window opens batch 0 of a new lane layout:
+    // without the carry it cold-starts (partial == full there), with the
+    // carry it must converge faster.
+    let boundary = spec.count / 2;
+    let f = full.windows[boundary].stats.iterations;
+    let p = partial.windows[boundary].stats.iterations;
+    let w = warm.windows[boundary].stats.iterations;
+    assert_eq!(p, f, "partial must cold-start the part boundary");
+    assert!(w < f, "boundary window: warm {w} !< full {f}");
+}
+
+#[test]
+fn spmm_iteration_counts_are_pinned() {
+    // Regression pin for the batched-SpMM seeding paths: these totals are
+    // deterministic (sequential in-order walk, fixed workload). A change
+    // means the seeding behavior changed — re-derive, don't just re-bless.
+    let log = stationary_log();
+    let spec = spec_at_overlap(&log, 0.5);
+    let totals: Vec<usize> = [InitMode::Full, InitMode::Partial, InitMode::Warm]
+        .into_iter()
+        .map(|init_mode| {
+            run_with(
+                &log,
+                spec,
+                PostmortemConfig {
+                    mode: ParallelMode::Sequential,
+                    kernel: KernelKind::SpMM { lanes: 8 },
+                    init_mode,
+                    num_multiwindows: 2,
+                    ..Default::default()
+                },
+            )
+            .total_iterations()
+        })
+        .collect();
+    assert_eq!(
+        totals,
+        vec![1700, 860, 440],
+        "full/partial/warm totals moved"
+    );
+}
+
+// --- Faults: a poisoned seed is never reused ------------------------------
+
+#[test]
+fn failed_window_does_not_poison_the_next_seed() {
+    let log = stationary_log();
+    let spec = spec_at_overlap(&log, 0.5);
+    let part = spec.count / 2;
+    // Fault the last window of part 1 and the middle of part 2: both the
+    // cross-part carry and the in-part seed must skip the failed ranks.
+    for faulted in [part - 1, part + 1] {
+        for kernel in [KernelKind::SpMV, KernelKind::SpMM { lanes: 8 }] {
+            let clean = run_with(
+                &log,
+                spec,
+                PostmortemConfig {
+                    mode: ParallelMode::Sequential,
+                    kernel,
+                    init_mode: InitMode::Full,
+                    num_multiwindows: 2,
+                    pr: tight_pr(),
+                    ..Default::default()
+                },
+            );
+            let out = run_with(
+                &log,
+                spec,
+                PostmortemConfig {
+                    mode: ParallelMode::Sequential,
+                    kernel,
+                    init_mode: InitMode::Warm,
+                    num_multiwindows: 2,
+                    pr: tight_pr(),
+                    faults: FaultPlan::single(faulted, FaultKind::PanicInKernel),
+                    ..Default::default()
+                },
+            );
+            assert!(out.degraded);
+            assert_eq!(out.failed_windows(), vec![faulted], "{kernel:?}");
+            for (c, w) in clean.windows.iter().zip(out.windows.iter()) {
+                if w.window == faulted {
+                    continue;
+                }
+                assert!(w.status.is_valid(), "{kernel:?}: window {}", w.window);
+                assert!(
+                    (c.fingerprint - w.fingerprint).abs() < 1e-7,
+                    "{kernel:?}: window {} fingerprint {} vs clean {}",
+                    w.window,
+                    w.fingerprint,
+                    c.fingerprint
+                );
+                for &r in &w.ranks.as_ref().unwrap().values {
+                    assert!(r.is_finite(), "{kernel:?}: window {} rank {r}", w.window);
+                }
+            }
+        }
+    }
+}
