@@ -1,0 +1,76 @@
+//! Checkpoint overhead: the same postmortem run with durability off,
+//! checkpointing every window, and every 8 windows. The every-8 cadence is
+//! the recommended default for long runs and should stay within a few
+//! percent of the undurable baseline (EXPERIMENTS.md tracks the numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use tempopr_bench::bench_pr;
+use tempopr_core::{CheckpointOptions, PostmortemConfig, PostmortemEngine, RetainMode, RunOutput};
+use tempopr_datagen::Dataset;
+
+/// One durable postmortem run over a pre-generated workload. The in-order
+/// bare-bone configuration is the one resume supports, so it is the one
+/// whose overhead matters.
+fn run_durable(
+    log: &tempopr_graph::EventLog,
+    spec: tempopr_graph::WindowSpec,
+    dir: Option<PathBuf>,
+    every: usize,
+) -> RunOutput {
+    // Full retention (the library default): the baseline already
+    // materializes every window's ranks, so the measured delta is the
+    // checkpoint machinery itself — framing, CRC, write, fsync cadence.
+    let cfg = PostmortemConfig {
+        pr: bench_pr(),
+        retain: RetainMode::Full,
+        ..PostmortemConfig::bare_bone()
+    };
+    let opts = CheckpointOptions {
+        dir,
+        every,
+        resume: None,
+    };
+    PostmortemEngine::new(log, spec, cfg)
+        .expect("engine")
+        .run_durable(&opts)
+        .expect("durable run")
+}
+
+/// A checkpoint is a fixed cost (serialize + fsync) against a per-window
+/// compute cost that grows with the workload, so the overhead ratio is
+/// only meaningful on a workload big enough for compute to dominate —
+/// 10x the shared bench scale.
+fn overhead_workload() -> (tempopr_graph::EventLog, tempopr_graph::WindowSpec) {
+    let log = Dataset::Enron.spec().generate(0.01, 42);
+    let span = log.last_time() - log.first_time();
+    let sw = (span / 64).max(1);
+    let spec = tempopr_graph::WindowSpec::covering(&log, (sw * 4).max(2), sw).expect("spec");
+    (log, spec)
+}
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let (log, spec) = overhead_workload();
+    let base = std::env::temp_dir().join(format!("tempopr_bench_ckpt_{}", std::process::id()));
+    let mut g = c.benchmark_group("checkpoint_overhead");
+    g.bench_function("off", |b| {
+        b.iter(|| std::hint::black_box(run_durable(&log, spec, None, 1)))
+    });
+    for (label, every) in [("every1", 1usize), ("every8", 8usize)] {
+        let dir = base.join(label);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                // Fresh manifest per iteration: overhead includes the
+                // header write, per-record framing, and fsync cadence.
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir).expect("bench dir");
+                std::hint::black_box(run_durable(&log, spec, Some(dir.clone()), every))
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+criterion_group!(benches, bench_checkpoint_overhead);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! One module per table/figure of the paper's evaluation.
 
+pub mod durable;
 pub mod fig11;
 pub mod fig12;
 pub mod fig4;

@@ -8,30 +8,29 @@ use tempopr_graph::{io, EventLog, ParseMode, WindowSpec};
 
 /// Loads an event log from a path, picking the format by extension
 /// (`.bin` = binary, anything else = text). With `lenient`, malformed
-/// text lines are skipped and the ingest report is echoed to stderr.
+/// text lines (and trailing bytes after a binary file's declared records)
+/// are skipped and the ingest report is echoed to stderr.
 fn load(path: &str, lenient: bool) -> EventLog {
-    if path.ends_with(".bin") {
-        match io::read_binary_file(path) {
-            Ok(log) => log,
-            Err(e) => fail(format!("failed to read {path}: {e}")),
+    let mode = if lenient {
+        ParseMode::Lenient {
+            max_bad_records: usize::MAX,
         }
     } else {
-        let mode = if lenient {
-            ParseMode::Lenient {
-                max_bad_records: usize::MAX,
+        ParseMode::Strict
+    };
+    let result = if path.ends_with(".bin") {
+        io::read_binary_file_report(path, mode)
+    } else {
+        io::read_text_file_report(path, mode)
+    };
+    match result {
+        Ok((log, report)) => {
+            if lenient || !report.is_clean() {
+                eprintln!("{path}: {}", report.summary());
             }
-        } else {
-            ParseMode::Strict
-        };
-        match io::read_text_file_report(path, mode) {
-            Ok((log, report)) => {
-                if lenient || !report.is_clean() {
-                    eprintln!("{path}: {}", report.summary());
-                }
-                log
-            }
-            Err(e) => fail(format!("failed to read {path}: {e}")),
+            log
         }
+        Err(e) => fail(format!("failed to read {path}: {e}")),
     }
 }
 

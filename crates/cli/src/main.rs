@@ -63,6 +63,7 @@ struct ToolFlags {
     sw_days: i64,
     top: usize,
     lenient: bool,
+    durable: durable::DurableArgs,
 }
 
 impl Default for ToolFlags {
@@ -72,6 +73,10 @@ impl Default for ToolFlags {
             sw_days: 30,
             top: 3,
             lenient: false,
+            durable: durable::DurableArgs {
+                checkpoint_every: 1,
+                ..Default::default()
+            },
         }
     }
 }
@@ -89,6 +94,13 @@ fn run_experiment(cmd: &str, opts: &Opts, dataset: Option<&str>, extra: &ToolFla
         "fig11" => fig11::run(opts, dataset),
         "fig12" => fig12::run(opts),
         "warmstart" => warmstart::run(opts),
+        "run" => durable::run(
+            opts,
+            dataset,
+            &extra.durable,
+            extra.sw_days,
+            extra.delta_days,
+        ),
         "structure" => {
             let src = dataset.unwrap_or("wikitalk");
             tools::structure(src, extra.delta_days, extra.sw_days, extra.lenient, opts);
@@ -210,6 +222,41 @@ fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), Str
                 opts.edge_balance = true;
                 i += 1;
             }
+            "--driver" => {
+                extra.durable.driver = durable::Driver::parse(value(i)?)
+                    .ok_or_else(|| "bad --driver (postmortem|offline|streaming)".to_string())?;
+                i += 2;
+            }
+            "--checkpoint-dir" => {
+                extra.durable.checkpoint_dir = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                extra.durable.checkpoint_every = value(i)?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                i += 2;
+            }
+            "--resume" => {
+                extra.durable.resume = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--recovery" => {
+                extra.durable.recovery_ladder = Some(match value(i)?.as_str() {
+                    "ladder" => true,
+                    "fail-only" => false,
+                    other => return Err(format!("bad --recovery '{other}' (ladder|fail-only)")),
+                });
+                i += 2;
+            }
+            "--crash-at" => {
+                extra.durable.crash_at = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("bad --crash-at: {e}"))?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -218,6 +265,12 @@ fn parse_flags(args: &[String]) -> Result<(Opts, Option<String>, ToolFlags), Str
     }
     if extra.delta_days <= 0 || extra.sw_days <= 0 {
         return Err("--delta-days and --sw-days must be positive".into());
+    }
+    if extra.durable.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if extra.durable.crash_at.is_some() && extra.durable.checkpoint_dir.is_none() {
+        return Err("--crash-at needs --checkpoint-dir".into());
     }
     Ok((opts, dataset, extra))
 }
@@ -231,6 +284,10 @@ fn print_help() {
          experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 warmstart all\n\
          tools:       pagerank | structure  (--source <file-or-dataset> \
          --delta-days D --sw-days S [--top K] [--lenient]); convert <in> <out> [--lenient]\n\
+         run:         durable window runner — --driver postmortem|offline|streaming \
+         [--checkpoint-dir D] [--checkpoint-every N] [--resume D] \
+         [--recovery ladder|fail-only] [--crash-at K]; prints per-window \
+         fingerprints; exit 0 clean, 3 recovered, 4 failed\n\
          datasets:    enron epinions hepth youtube wikitalk stackoverflow askubuntu\n\n\
          --scale      dataset size relative to the paper's (default 0.01)\n\
          --seed       synthesis seed (default 42)\n\
@@ -357,6 +414,47 @@ mod tests {
         assert_eq!(extra.delta_days, 30);
         assert_eq!(extra.sw_days, 5);
         assert_eq!(extra.top, 8);
+    }
+
+    #[test]
+    fn durable_flags_parse() {
+        let (_, _, extra) = flags(&[]).unwrap();
+        assert_eq!(extra.durable.driver, durable::Driver::Postmortem);
+        assert_eq!(extra.durable.checkpoint_every, 1);
+        assert!(extra.durable.checkpoint_dir.is_none());
+        assert!(extra.durable.resume.is_none());
+        assert!(extra.durable.recovery_ladder.is_none());
+        assert!(extra.durable.crash_at.is_none());
+        let (_, _, extra) = flags(&[
+            "--driver",
+            "streaming",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "8",
+            "--resume",
+            "/tmp/ck",
+            "--recovery",
+            "ladder",
+            "--crash-at",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(extra.durable.driver, durable::Driver::Streaming);
+        assert_eq!(extra.durable.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(extra.durable.checkpoint_every, 8);
+        assert_eq!(extra.durable.resume.as_deref(), Some("/tmp/ck"));
+        assert_eq!(extra.durable.recovery_ladder, Some(true));
+        assert_eq!(extra.durable.crash_at, Some(3));
+        let (_, _, extra) = flags(&["--recovery", "fail-only"]).unwrap();
+        assert_eq!(extra.durable.recovery_ladder, Some(false));
+        assert!(flags(&["--driver", "bogus"]).is_err(), "unknown driver");
+        assert!(flags(&["--checkpoint-every", "0"]).is_err(), "zero cadence");
+        assert!(
+            flags(&["--crash-at", "2"]).is_err(),
+            "crash needs a checkpoint dir"
+        );
+        assert!(flags(&["--recovery", "maybe"]).is_err(), "unknown policy");
     }
 
     #[test]

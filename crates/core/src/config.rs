@@ -20,6 +20,13 @@ pub struct FaultPlan {
     /// The injected faults, at most one per window (later entries for the
     /// same window are ignored).
     pub faults: Vec<WindowFault>,
+    /// Process-level crash injection: abort the process immediately after
+    /// the checkpoint record for this window becomes durable (a
+    /// deterministic stand-in for `kill -9` at window *k*). Only effective
+    /// on the durable entry points; ignored — like any fault — by the
+    /// checkpoint compatibility hash, so a resumed run (which clears it)
+    /// still matches the crashed run's manifest.
+    pub crash_after_checkpoint: Option<usize>,
 }
 
 impl FaultPlan {
@@ -27,12 +34,13 @@ impl FaultPlan {
     pub fn single(window: usize, fault: FaultKind) -> Self {
         FaultPlan {
             faults: vec![WindowFault { window, fault }],
+            crash_after_checkpoint: None,
         }
     }
 
     /// Whether no faults are planned.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.crash_after_checkpoint.is_none()
     }
 
     /// The fault targeted at `window`, if any.
@@ -155,6 +163,11 @@ pub struct PostmortemConfig {
     /// default; when empty, the run takes exactly the fault-free code
     /// paths and ranks are unchanged bit for bit.
     pub faults: FaultPlan,
+    /// What the executor may attempt when a window's kernel fails
+    /// ([`crate::exec::RecoveryPolicy`]). The postmortem engine's
+    /// historical behavior is the full ladder; `fail_only` surfaces every
+    /// failure as a `Failed` window instead (CLI `--recovery fail-only`).
+    pub recovery: crate::exec::RecoveryPolicy,
     /// Overlap the next multi-window part's window-index construction with
     /// the current window's kernel (in-order SpMV/push walks only; needs
     /// `use_window_index`). Ranks and deterministic traces are unchanged —
@@ -178,6 +191,7 @@ impl Default for PostmortemConfig {
             threads: 0,
             retain: RetainMode::Full,
             faults: FaultPlan::default(),
+            recovery: crate::exec::RecoveryPolicy::ladder(),
             pipeline: false,
         }
     }

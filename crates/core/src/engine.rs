@@ -39,16 +39,19 @@
 //! window completes normally. The run output carries a `degraded` flag; no
 //! failure is silent and no failure aborts the run.
 
+use crate::checkpoint::{
+    self, CheckpointError, CheckpointOptions, CheckpointRecord, CheckpointSink,
+};
 use crate::config::{InitMode, KernelKind, ParallelMode, PostmortemConfig};
 use crate::error::EngineError;
 use crate::exec::{
-    classify_converged, isolate, oracle_for, run_windows, Prefetcher, RecoveryPolicy,
-    WindowExecutor, WindowSource,
+    classify_converged, isolate, oracle_for, run_windows, Prefetcher, WindowExecutor, WindowSource,
 };
 use crate::observe::TelemetryKernelBridge;
 use crate::result::{RunOutput, WindowOutput, WindowStatus};
 use crate::warmstart;
 use std::cell::Cell;
+use std::sync::{Arc, Mutex};
 use tempopr_graph::{EventLog, MultiWindowGraph, MultiWindowSet, WindowSpec};
 use tempopr_kernel::{
     pagerank_batch_indexed_obs, pagerank_batch_obs, pagerank_window_blocking_indexed_obs,
@@ -67,6 +70,24 @@ pub struct PostmortemEngine {
     cfg: PostmortemConfig,
     pool: Option<rayon::ThreadPool>,
     tele: Telemetry,
+    /// Event-log fingerprint, fixed at build time for the checkpoint
+    /// manifest header (the engine does not retain the log itself).
+    log_fp: u64,
+    /// Run-scoped durable sink, set only inside
+    /// [`PostmortemEngine::run_durable`]; `executor()` attaches it so
+    /// every finalized window is persisted without threading a parameter
+    /// through the kernel walks.
+    ckpt: Mutex<Option<Arc<CheckpointSink>>>,
+}
+
+/// Where a (possibly resumed) run starts and how its first window is
+/// seeded: `seed` holds the part index and part-local ranks of the last
+/// durable window, reproducing the in-order walk state an uninterrupted
+/// run would have at `start`.
+#[derive(Debug, Clone, Default)]
+struct RunPlan {
+    start: usize,
+    seed: Option<(usize, Vec<f64>)>,
 }
 
 impl PostmortemEngine {
@@ -107,11 +128,14 @@ impl PostmortemEngine {
         } else {
             None
         };
+        let log_fp = checkpoint::log_fingerprint(log);
         Ok(PostmortemEngine {
             set,
             cfg,
             pool,
             tele,
+            log_fp,
+            ckpt: Mutex::new(None),
         })
     }
 
@@ -142,6 +166,112 @@ impl PostmortemEngine {
     /// ranks (even through the recovery ladder) are reported as
     /// [`WindowStatus::Failed`] and the output's `degraded` flag is set.
     pub fn run(&self) -> RunOutput {
+        self.run_with_plan(RunPlan::default(), Vec::new())
+    }
+
+    /// [`PostmortemEngine::run`] with durability: when `opts` names a
+    /// checkpoint directory, every finalized window is persisted as a
+    /// `tempopr.ckpt.v1` record ([`crate::checkpoint`]); when it names a
+    /// resume source, the manifest's valid prefix is verified against this
+    /// engine's config hash and event-log fingerprint, completed windows
+    /// are restored instead of recomputed, and the in-order walk is
+    /// re-seeded from the last durable window so the combined output is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// Resuming a non-empty prefix requires an in-order mode
+    /// ([`ParallelMode::Sequential`] or [`ParallelMode::ApplicationLevel`]):
+    /// the part-parallel modes chain seeds per scheduler grain, which a
+    /// trimmed window range cannot reproduce. Checkpoint *writing* works
+    /// under every mode (records are reordered into window order before
+    /// hitting disk). With the SpMM kernel the resume point is clipped
+    /// down to the start of the part containing the first missing window —
+    /// region scheduling interleaves a part's windows, so a partial part
+    /// is recomputed whole (deterministically, yielding the same records).
+    pub fn run_durable(&self, opts: &CheckpointOptions) -> Result<RunOutput, EngineError> {
+        if opts.is_noop() {
+            return Ok(self.run());
+        }
+        let header = checkpoint::ManifestHeader::new(
+            checkpoint::DRIVER_POSTMORTEM,
+            self.config_hash(),
+            self.log_fp,
+            self.spec(),
+        );
+        let count = self.spec().count;
+        let mut prefix: Vec<CheckpointRecord> = Vec::new();
+        if let Some(from) = &opts.resume {
+            let scan = {
+                let _t = self.tele.phase(RunPhase::ResumeScan);
+                checkpoint::resume_scan(from, &header)?
+            };
+            self.tele
+                .add("checkpoint.corrupt_discarded", scan.corrupt_discarded);
+            prefix = scan.records;
+            prefix.truncate(count);
+            if !prefix.is_empty() {
+                match self.cfg.mode {
+                    ParallelMode::Sequential | ParallelMode::ApplicationLevel => {}
+                    _ => {
+                        return Err(CheckpointError::Unsupported(
+                            "postmortem resume needs an in-order mode (sequential or \
+                             application-level); part-parallel grain chains are not \
+                             reproducible from a trimmed window range"
+                                .into(),
+                        )
+                        .into())
+                    }
+                }
+                if matches!(self.cfg.kernel, KernelKind::SpMM { .. }) && prefix.len() < count {
+                    let boundary = self.set.graphs()[self.part_index_of(prefix.len())]
+                        .windows()
+                        .start;
+                    prefix.truncate(boundary);
+                }
+            }
+        }
+        let k = prefix.len();
+        self.tele.add("checkpoint.resume_skipped", k as u64);
+        let seed = (k > 0 && k < count)
+            .then(|| {
+                let last = &prefix[k - 1];
+                last.status.is_valid().then(|| {
+                    let p = self.part_index_of(k - 1);
+                    (p, last.ranks.to_local(self.set.graphs()[p].vertex_map()))
+                })
+            })
+            .flatten();
+        let restored: Vec<WindowOutput> = prefix
+            .iter()
+            .map(|r| r.to_output(self.cfg.retain))
+            .collect();
+        if let Some(dir) = &opts.dir {
+            let sink = CheckpointSink::create(
+                dir,
+                &header,
+                &prefix,
+                opts.every,
+                self.cfg.faults.crash_after_checkpoint,
+                self.tele.clone(),
+            )?;
+            *lock(&self.ckpt) = Some(Arc::new(sink));
+        }
+        let out = self.run_with_plan(RunPlan { start: k, seed }, restored);
+        if let Some(sink) = lock(&self.ckpt).take() {
+            sink.finish();
+        }
+        Ok(out)
+    }
+
+    /// The compatibility hash of this run's configuration: FNV-1a over the
+    /// config's `Debug` rendering with crash injection masked out (the
+    /// crashed run and its resume differ exactly there).
+    fn config_hash(&self) -> u64 {
+        let mut c = self.cfg.clone();
+        c.faults.crash_after_checkpoint = None;
+        checkpoint::hash_config(&format!("{c:?}"))
+    }
+
+    fn run_with_plan(&self, plan: RunPlan, mut restored: Vec<WindowOutput>) -> RunOutput {
         self.tele.set_gauge(
             "init.mode",
             match self.cfg.init_mode {
@@ -151,9 +281,10 @@ impl PostmortemEngine {
             },
         );
         let mut out = match &self.pool {
-            Some(p) => p.install(|| self.run_inner()),
-            None => self.run_inner(),
+            Some(p) => p.install(|| self.run_inner(&plan)),
+            None => self.run_inner(&plan),
         };
+        out.windows.append(&mut restored);
         out.windows.sort_by_key(|w| w.window);
         out.finalize_status();
         out.assert_complete(self.spec().count);
@@ -166,11 +297,11 @@ impl PostmortemEngine {
         out
     }
 
-    fn run_inner(&self) -> RunOutput {
+    fn run_inner(&self, plan: &RunPlan) -> RunOutput {
         let windows = match self.cfg.kernel {
-            KernelKind::SpMV => self.run_spmv(),
-            KernelKind::SpMM { lanes } => self.run_spmm(lanes),
-            KernelKind::PushBlocking => self.run_blocking(),
+            KernelKind::SpMV => self.run_spmv(plan),
+            KernelKind::SpMM { lanes } => self.run_spmm(lanes, plan),
+            KernelKind::PushBlocking => self.run_blocking(plan),
         };
         RunOutput {
             windows,
@@ -223,15 +354,13 @@ impl PostmortemEngine {
 
     // --- Execution-layer adapters -----------------------------------------
 
-    /// The engine's [`WindowExecutor`]: the full recovery ladder (this is
-    /// the postmortem driver) recording into the run's telemetry sink.
+    /// The engine's [`WindowExecutor`]: the configured recovery policy
+    /// (the full ladder by default — this is the postmortem driver)
+    /// recording into the run's telemetry sink, with the run-scoped
+    /// checkpoint sink attached when durability is on.
     fn executor(&self) -> WindowExecutor<'_> {
-        WindowExecutor::new(
-            &self.tele,
-            &self.cfg.pr,
-            RecoveryPolicy::ladder(),
-            self.cfg.retain,
-        )
+        WindowExecutor::new(&self.tele, &self.cfg.pr, self.cfg.recovery, self.cfg.retain)
+            .with_checkpoint(lock(&self.ckpt).clone())
     }
 
     /// Computes one window with the SpMV kernel through the full recovery
@@ -294,24 +423,30 @@ impl PostmortemEngine {
 
     // --- SpMV path ------------------------------------------------------
 
-    fn run_spmv(&self) -> Vec<WindowOutput> {
+    fn run_spmv(&self, plan: &RunPlan) -> Vec<WindowOutput> {
         let count = self.spec().count;
         let sched = &self.cfg.scheduler;
         let pf = self.prefetcher();
         let pf = pf.as_ref().map(|p| p as &dyn Prefetcher);
         match self.cfg.mode {
-            ParallelMode::Sequential => self.spmv_chunk(0..count, None, pf),
-            ParallelMode::ApplicationLevel => self.spmv_chunk(0..count, Some(sched), pf),
+            ParallelMode::Sequential => {
+                self.spmv_chunk(plan.start..count, None, pf, plan.seed.clone())
+            }
+            ParallelMode::ApplicationLevel => {
+                self.spmv_chunk(plan.start..count, Some(sched), pf, plan.seed.clone())
+            }
+            // Resume never reaches the part-parallel modes (run_durable
+            // rejects them with a non-empty prefix), so plan is trivial.
             ParallelMode::WindowLevel => sched.map_reduce_range(
                 count,
                 Vec::new(),
-                |r| self.spmv_chunk(r, None, None),
+                |r| self.spmv_chunk(r, None, None, None),
                 concat,
             ),
             ParallelMode::Nested => sched.map_reduce_range(
                 count,
                 Vec::new(),
-                |r| self.spmv_chunk(r, Some(sched), None),
+                |r| self.spmv_chunk(r, Some(sched), None, None),
                 concat,
             ),
         }
@@ -332,10 +467,17 @@ impl PostmortemEngine {
         windows: std::ops::Range<usize>,
         inner: Option<&Scheduler>,
         prefetcher: Option<&dyn Prefetcher>,
+        resume: Option<(usize, Vec<f64>)>,
     ) -> Vec<WindowOutput> {
         let mut ws = PrWorkspace::default();
-        let mut prev: Vec<f64> = Vec::new();
-        let mut prev_part: Option<usize> = None;
+        // A resume seed replays the walk state as of the first window: the
+        // last durable window's part and local ranks (absent if it failed,
+        // so the first recomputed window cold-starts exactly as the
+        // uninterrupted walk would after an invalid window).
+        let (mut prev, mut prev_part): (Vec<f64>, Option<usize>) = match resume {
+            Some((p, ranks)) => (ranks, Some(p)),
+            None => (Vec::new(), None),
+        };
         let mut carry_buf: Vec<f64> = Vec::new();
         let mut meter = SavingsMeter::default();
         let mut source = PartSource { engine: self };
@@ -372,18 +514,21 @@ impl PostmortemEngine {
 
     /// Propagation-blocking path: same window walk as SpMV, sequential
     /// kernel (outer window-level parallelism still applies).
-    fn run_blocking(&self) -> Vec<WindowOutput> {
+    fn run_blocking(&self, plan: &RunPlan) -> Vec<WindowOutput> {
         let count = self.spec().count;
         let sched = &self.cfg.scheduler;
         let pf = self.prefetcher();
         let pf = pf.as_ref().map(|p| p as &dyn Prefetcher);
         match self.cfg.mode {
             ParallelMode::Sequential | ParallelMode::ApplicationLevel => {
-                self.blocking_chunk(0..count, pf)
+                self.blocking_chunk(plan.start..count, pf, plan.seed.clone())
             }
-            ParallelMode::WindowLevel | ParallelMode::Nested => {
-                sched.map_reduce_range(count, Vec::new(), |r| self.blocking_chunk(r, None), concat)
-            }
+            ParallelMode::WindowLevel | ParallelMode::Nested => sched.map_reduce_range(
+                count,
+                Vec::new(),
+                |r| self.blocking_chunk(r, None, None),
+                concat,
+            ),
         }
     }
 
@@ -391,10 +536,13 @@ impl PostmortemEngine {
         &self,
         windows: std::ops::Range<usize>,
         prefetcher: Option<&dyn Prefetcher>,
+        resume: Option<(usize, Vec<f64>)>,
     ) -> Vec<WindowOutput> {
         let mut ws = BlockingWorkspace::default();
-        let mut prev: Vec<f64> = Vec::new();
-        let mut prev_part: Option<usize> = None;
+        let (mut prev, mut prev_part): (Vec<f64>, Option<usize>) = match resume {
+            Some((p, ranks)) => (ranks, Some(p)),
+            None => (Vec::new(), None),
+        };
         let mut carry_buf: Vec<f64> = Vec::new();
         let mut meter = SavingsMeter::default();
         let mut source = PartSource { engine: self };
@@ -470,15 +618,15 @@ impl PostmortemEngine {
 
     // --- SpMM path ------------------------------------------------------
 
-    fn run_spmm(&self, lanes: usize) -> Vec<WindowOutput> {
+    fn run_spmm(&self, lanes: usize, plan: &RunPlan) -> Vec<WindowOutput> {
         let parts = self.set.num_parts();
         let sched = &self.cfg.scheduler;
         // The part-parallel modes cannot carry across parts (each part may
         // start before its predecessor finished); the carry chain belongs
         // to the in-order modes, mirroring the SpMV grain semantics.
         match self.cfg.mode {
-            ParallelMode::Sequential => self.spmm_in_order(lanes, None),
-            ParallelMode::ApplicationLevel => self.spmm_in_order(lanes, Some(sched)),
+            ParallelMode::Sequential => self.spmm_in_order(lanes, None, plan),
+            ParallelMode::ApplicationLevel => self.spmm_in_order(lanes, Some(sched), plan),
             ParallelMode::WindowLevel => sched.map_reduce_range(
                 parts,
                 Vec::new(),
@@ -509,13 +657,21 @@ impl PostmortemEngine {
     /// The in-order SpMM walk over parts, threading the cross-part carry:
     /// each part's last converged window seeds the next part's first batch
     /// (remapped between local vertex spaces) under [`InitMode::Warm`].
-    fn spmm_in_order(&self, lanes: usize, inner: Option<&Scheduler>) -> Vec<WindowOutput> {
+    fn spmm_in_order(
+        &self,
+        lanes: usize,
+        inner: Option<&Scheduler>,
+        plan: &RunPlan,
+    ) -> Vec<WindowOutput> {
         let mut out: Vec<WindowOutput> = Vec::new();
         let mut meter = SavingsMeter::default();
         // The previous part's final local ranks, and which part they're in.
-        let mut carry: Option<(usize, Vec<f64>)> = None;
+        // A resume plan starts at a part boundary with exactly that shape:
+        // the preceding part's last durable window as the incoming carry.
+        let mut carry: Option<(usize, Vec<f64>)> = plan.seed.clone();
         let mut mapped: Vec<f64> = Vec::new();
-        for p in 0..self.set.num_parts() {
+        let start_part = self.part_index_of(plan.start);
+        for p in start_part..self.set.num_parts() {
             let seed: Option<&[f64]> = match &carry {
                 Some((q, ranks)) if self.warm() => {
                     let prev_map = self.set.graphs()[*q].vertex_map();
@@ -872,6 +1028,12 @@ impl SavingsMeter {
             Seed::InPart => {}
         }
     }
+}
+
+/// Poison-tolerant lock (a panicked window is already isolated and
+/// reported; the sink slot itself is always in a consistent state).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn concat(mut a: Vec<WindowOutput>, mut b: Vec<WindowOutput>) -> Vec<WindowOutput> {

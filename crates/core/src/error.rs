@@ -54,6 +54,10 @@ pub enum EngineError {
     },
     /// The worker thread pool could not be built.
     ThreadPool(String),
+    /// A durable run could not write or resume from its checkpoint
+    /// manifest (resume-time incompatibility or corruption; write-time
+    /// failures after startup only degrade durability, never the run).
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl EngineError {
@@ -94,6 +98,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "): {source}")
             }
             EngineError::ThreadPool(m) => write!(f, "thread pool: {m}"),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -105,7 +110,14 @@ impl std::error::Error for EngineError {
             EngineError::Io(e) => Some(e),
             EngineError::Kernel { source, .. } => Some(source),
             EngineError::ThreadPool(_) => None,
+            EngineError::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for EngineError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
     }
 }
 

@@ -30,9 +30,11 @@
 //! terminal marker from `finalize` — so blessed `tempopr.trace.v1`
 //! snapshots remain valid.
 
+use crate::checkpoint::{CheckpointRecord, CheckpointSink};
 use crate::config::RetainMode;
 use crate::result::{rank_fingerprint, RecoveryKind, SparseRanks, WindowOutput, WindowStatus};
 use std::ops::Range;
+use std::sync::Arc;
 use tempopr_graph::{Event, TemporalCsr, TimeRange};
 use tempopr_kernel::{
     overlap, solve_pagerank_exact, KernelError, NumericPolicy, PrConfig, PrHealth, PrStats,
@@ -101,6 +103,10 @@ pub struct WindowExecutor<'a> {
     /// Enabled recovery rungs (public so drivers can consult the oracle cap).
     pub recovery: RecoveryPolicy,
     retain: RetainMode,
+    /// Durable checkpoint sink; when set, every finalized window is
+    /// offered as a [`crate::checkpoint::CheckpointRecord`] — this single
+    /// hook is how all three drivers inherit checkpointing.
+    ckpt: Option<Arc<CheckpointSink>>,
 }
 
 impl<'a> WindowExecutor<'a> {
@@ -118,7 +124,15 @@ impl<'a> WindowExecutor<'a> {
             pr,
             recovery,
             retain,
+            ckpt: None,
         }
+    }
+
+    /// Attaches (or detaches) a durable checkpoint sink; finalized windows
+    /// are then persisted through it regardless of the retention mode.
+    pub fn with_checkpoint(mut self, sink: Option<Arc<CheckpointSink>>) -> Self {
+        self.ckpt = sink;
+        self
     }
 
     /// Drives one window's kernel attempts to a terminal status.
@@ -293,11 +307,31 @@ impl<'a> WindowExecutor<'a> {
             stats.iterations as u32,
         ));
         let fingerprint = rank_fingerprint(local_ranks, vertex_map);
-        let ranks = match self.retain {
-            RetainMode::Full => Some(match vertex_map {
+        // The sparse vector is built whenever either consumer needs it; a
+        // checkpoint record always carries it (resume re-seeding needs the
+        // ranks even under summary retention).
+        let mut sparse =
+            (self.ckpt.is_some() || self.retain == RetainMode::Full).then(|| match vertex_map {
                 Some(map) => SparseRanks::from_local(local_ranks, map),
                 None => SparseRanks::from_dense(local_ranks),
-            }),
+            });
+        if let Some(sink) = &self.ckpt {
+            let ranks = if self.retain == RetainMode::Full {
+                sparse.clone().unwrap_or_default()
+            } else {
+                sparse.take().unwrap_or_default()
+            };
+            sink.offer(&CheckpointRecord {
+                window,
+                status: status.clone(),
+                attempts,
+                stats,
+                fingerprint,
+                ranks,
+            });
+        }
+        let ranks = match self.retain {
+            RetainMode::Full => sparse,
             RetainMode::Summary => None,
         };
         WindowOutput {

@@ -28,6 +28,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod advisor;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -38,6 +39,10 @@ pub mod result;
 pub mod warmstart;
 
 pub use advisor::{suggest, suggest_for_profile, suggested_multiwindows, WorkloadProfile};
+pub use checkpoint::{
+    corrupt_manifest, resume_scan, CheckpointError, CheckpointOptions, CheckpointRecord,
+    CheckpointSink, CorruptionKind, ManifestHeader, ResumeState,
+};
 pub use config::{
     FaultPlan, InitMode, KernelKind, ParallelMode, PostmortemConfig, RetainMode, WindowFault,
 };
@@ -45,7 +50,7 @@ pub use engine::{auto_multiwindows, PostmortemEngine};
 pub use error::{EngineError, Phase};
 pub use exec::{Prefetcher, RecoveryPolicy, WindowExecutor, WindowSource, MAX_ORACLE_ACTIVE};
 pub use observe::TelemetryKernelBridge;
-pub use offline::{run_offline, run_offline_traced, OfflineConfig};
+pub use offline::{run_offline, run_offline_durable, run_offline_traced, OfflineConfig};
 pub use result::{
     rank_fingerprint, RecoveryKind, RunOutput, SparseRanks, WindowOutput, WindowStatus,
 };

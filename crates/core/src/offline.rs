@@ -15,6 +15,7 @@
 //! overlap the next window's CSR construction with the current kernel when
 //! [`OfflineConfig::pipeline`] is set.
 
+use crate::checkpoint::{self, CheckpointOptions, CheckpointRecord, CheckpointSink};
 use crate::config::{FaultPlan, RetainMode};
 use crate::error::EngineError;
 use crate::exec::{
@@ -23,7 +24,7 @@ use crate::exec::{
 use crate::observe::TelemetryKernelBridge;
 use crate::result::{RunOutput, WindowOutput};
 use std::cell::Cell;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use tempopr_graph::{Csr, EventLog, WindowSpec};
 use tempopr_kernel::{pagerank_csr_obs, thread_pool, Init, Obs, PrConfig, PrWorkspace, Scheduler};
 use tempopr_telemetry::{Phase as RunPhase, Telemetry};
@@ -114,18 +115,78 @@ pub fn run_offline_traced(
     cfg: &OfflineConfig,
     tele: &Telemetry,
 ) -> Result<RunOutput, EngineError> {
-    let inner = || run_offline_inner(log, spec, cfg, tele);
+    run_offline_durable(log, spec, cfg, &CheckpointOptions::default(), tele)
+}
+
+/// [`run_offline_traced`] with durability ([`crate::checkpoint`]): finalized
+/// windows are persisted as `tempopr.ckpt.v1` records when `opts` names a
+/// checkpoint directory, and a resume source's valid prefix is restored
+/// instead of recomputed. Offline windows are independent and always start
+/// from uniform init, so resume is a pure prefix skip — bit-identical under
+/// any scheduling, including `parallel_windows` (records are reordered into
+/// window order before hitting disk).
+pub fn run_offline_durable(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &OfflineConfig,
+    opts: &CheckpointOptions,
+    tele: &Telemetry,
+) -> Result<RunOutput, EngineError> {
+    let header = checkpoint::ManifestHeader::new(
+        checkpoint::DRIVER_OFFLINE,
+        offline_config_hash(cfg),
+        checkpoint::log_fingerprint(log),
+        &spec,
+    );
+    let mut prefix: Vec<CheckpointRecord> = Vec::new();
+    if let Some(from) = &opts.resume {
+        let scan = {
+            let _t = tele.phase(RunPhase::ResumeScan);
+            checkpoint::resume_scan(from, &header)?
+        };
+        tele.add("checkpoint.corrupt_discarded", scan.corrupt_discarded);
+        prefix = scan.records;
+        prefix.truncate(spec.count);
+    }
+    let start = prefix.len();
+    tele.add("checkpoint.resume_skipped", start as u64);
+    let mut restored: Vec<WindowOutput> = prefix.iter().map(|r| r.to_output(cfg.retain)).collect();
+    let ckpt = match &opts.dir {
+        Some(dir) => Some(Arc::new(CheckpointSink::create(
+            dir,
+            &header,
+            &prefix,
+            opts.every,
+            cfg.faults.crash_after_checkpoint,
+            tele.clone(),
+        )?)),
+        None => None,
+    };
+    let inner = || run_offline_inner(log, spec, cfg, start, ckpt.as_ref(), tele);
     let mut out = if cfg.threads > 0 {
         thread_pool(cfg.threads)?.install(inner)
     } else {
         inner()
     };
+    if let Some(sink) = &ckpt {
+        sink.finish();
+    }
+    out.windows.append(&mut restored);
     out.windows.sort_by_key(|w| w.window);
     out.finalize_status();
     out.assert_complete(spec.count);
     tele.add("windows.total", out.windows.len() as u64);
     tele.set_gauge("run.degraded", f64::from(u8::from(out.degraded)));
     Ok(out)
+}
+
+/// Compatibility hash of an offline configuration: FNV-1a over the config's
+/// `Debug` rendering with crash injection masked out (the crashed run and
+/// its resume differ exactly there).
+fn offline_config_hash(cfg: &OfflineConfig) -> u64 {
+    let mut c = cfg.clone();
+    c.faults.crash_after_checkpoint = None;
+    checkpoint::hash_config(&format!("{c:?}"))
 }
 
 /// Locks the prefetch cache, recovering from poison (a panicked prefetch
@@ -218,11 +279,13 @@ fn run_offline_inner(
     log: &EventLog,
     spec: WindowSpec,
     cfg: &OfflineConfig,
+    start: usize,
+    ckpt: Option<&Arc<CheckpointSink>>,
     tele: &Telemetry,
 ) -> RunOutput {
     let windows = if cfg.parallel_windows {
         cfg.scheduler.map_reduce_range(
-            spec.count,
+            spec.count - start,
             Vec::new(),
             |r| {
                 let mut ws = PrWorkspace::default();
@@ -234,9 +297,13 @@ fn run_offline_inner(
                     cache: None,
                     spare: None,
                 };
-                run_windows(&mut source, r, None, tele, |_, w, csr| {
-                    offline_compute(log, spec, cfg, w, csr, None, &mut ws, tele)
-                })
+                run_windows(
+                    &mut source,
+                    r.start + start..r.end + start,
+                    None,
+                    tele,
+                    |_, w, csr| offline_compute(log, spec, cfg, w, csr, None, ckpt, &mut ws, tele),
+                )
             },
             |mut a: Vec<WindowOutput>, mut b| {
                 a.append(&mut b);
@@ -262,9 +329,25 @@ fn run_offline_inner(
             cache: cfg.pipeline.then_some(&cache),
             spare: None,
         };
-        run_windows(&mut source, 0..spec.count, prefetcher, tele, |_, w, csr| {
-            offline_compute(log, spec, cfg, w, csr, Some(&cfg.scheduler), &mut ws, tele)
-        })
+        run_windows(
+            &mut source,
+            start..spec.count,
+            prefetcher,
+            tele,
+            |_, w, csr| {
+                offline_compute(
+                    log,
+                    spec,
+                    cfg,
+                    w,
+                    csr,
+                    Some(&cfg.scheduler),
+                    ckpt,
+                    &mut ws,
+                    tele,
+                )
+            },
+        )
     };
     RunOutput {
         windows,
@@ -282,11 +365,13 @@ fn offline_compute(
     w: usize,
     csr: &Csr,
     inner: Option<&Scheduler>,
+    ckpt: Option<&Arc<CheckpointSink>>,
     ws: &mut PrWorkspace,
     tele: &Telemetry,
 ) -> WindowOutput {
     tele.observe("memory.csr_bytes", csr.memory_bytes() as f64);
-    let executor = WindowExecutor::new(tele, &cfg.pr, cfg.recovery, cfg.retain);
+    let executor =
+        WindowExecutor::new(tele, &cfg.pr, cfg.recovery, cfg.retain).with_checkpoint(ckpt.cloned());
     let prcfg = PrConfig {
         fault: cfg.faults.fault_for(w).or(cfg.pr.fault),
         ..cfg.pr

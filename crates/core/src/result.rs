@@ -43,6 +43,40 @@ impl SparseRanks {
         SparseRanks { vertices, values }
     }
 
+    /// Reconstructs the dense global vector this was built from. Exact,
+    /// not approximate: `from_dense` keeps every strictly positive entry
+    /// and ranks are non-negative, so absent entries were exactly `0.0`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        for (&v, &x) in self.vertices.iter().zip(self.values.iter()) {
+            if let Some(slot) = out.get_mut(v as usize) {
+                *slot = x;
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the part-local vector this was built from via
+    /// `from_local` with the same sorted local→global `vertex_map`. Exact
+    /// for the same reason as [`SparseRanks::to_dense`]; a single
+    /// merge-join since both id sequences are sorted.
+    pub fn to_local(&self, vertex_map: &[u32]) -> Vec<f64> {
+        let mut out = vec![0.0; vertex_map.len()];
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.vertices.len() && j < vertex_map.len() {
+            match self.vertices[i].cmp(&vertex_map[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out[j] = self.values[i];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
     /// Number of ranked (active) vertices.
     pub fn len(&self) -> usize {
         self.vertices.len()

@@ -114,6 +114,9 @@ pub struct IngestReport {
     pub duplicates: usize,
     /// Lines whose timestamp was smaller than the preceding line's.
     pub out_of_order: usize,
+    /// Bytes found after the last declared binary record (binary readers
+    /// only; strict mode rejects them instead of counting).
+    pub trailing_bytes: usize,
     /// First few per-line messages for the dropped records.
     pub diagnostics: Vec<String>,
 }
@@ -134,19 +137,20 @@ impl IngestReport {
     }
 
     /// True when nothing unusual was seen (no drops, loops, duplicates,
-    /// or reordering).
+    /// reordering, or trailing bytes).
     pub fn is_clean(&self) -> bool {
         self.dropped() == 0
             && self.self_loops == 0
             && self.duplicates == 0
             && self.out_of_order == 0
+            && self.trailing_bytes == 0
     }
 
     /// One-line human summary, suitable for CLI output.
     pub fn summary(&self) -> String {
         format!(
             "ingest: {} lines, {} events accepted, {} dropped ({} malformed, {} overflow), \
-             {} self-loops, {} duplicates, {} out-of-order",
+             {} self-loops, {} duplicates, {} out-of-order, {} trailing bytes",
             self.lines,
             self.accepted,
             self.dropped(),
@@ -154,7 +158,8 @@ impl IngestReport {
             self.overflow,
             self.self_loops,
             self.duplicates,
-            self.out_of_order
+            self.out_of_order,
+            self.trailing_bytes
         )
     }
 }
@@ -350,12 +355,35 @@ pub fn write_binary<W: Write>(log: &EventLog, writer: W) -> Result<(), IoError> 
 /// reader never preallocates more than a fixed cap on its say-so (a forged
 /// multi-terabyte count must not OOM the process), and when the total
 /// input size is known ([`read_binary_file`]) the count is cross-checked
-/// against it before any allocation.
+/// against it before any allocation. Bytes *after* the last declared
+/// record are rejected (a truncated header count silently hiding data is
+/// as corrupt as a forged one); use [`read_binary_report`] in
+/// [`ParseMode::Lenient`] to accept-and-count them instead.
 pub fn read_binary<R: Read>(reader: R) -> Result<EventLog, IoError> {
-    read_binary_impl(reader, None)
+    read_binary_impl(reader, None, ParseMode::Strict).map(|(log, _)| log)
 }
 
-fn read_binary_impl<R: Read>(reader: R, total_len: Option<u64>) -> Result<EventLog, IoError> {
+/// Reads the compact binary format under the given [`ParseMode`],
+/// reporting anything unusual in an [`IngestReport`].
+///
+/// The only mode-sensitive condition is trailing garbage after the last
+/// declared record: strict mode rejects it as a bad header, lenient mode
+/// counts it in [`IngestReport::trailing_bytes`] and keeps the declared
+/// records. Everything before the end of the declared section (bad magic,
+/// bad version, truncation) is a hard error in both modes — there is no
+/// record-level resynchronization in a fixed-stride format.
+pub fn read_binary_report<R: Read>(
+    reader: R,
+    mode: ParseMode,
+) -> Result<(EventLog, IngestReport), IoError> {
+    read_binary_impl(reader, None, mode)
+}
+
+fn read_binary_impl<R: Read>(
+    reader: R,
+    total_len: Option<u64>,
+    mode: ParseMode,
+) -> Result<(EventLog, IngestReport), IoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -408,7 +436,38 @@ fn read_binary_impl<R: Read>(reader: R, total_len: Option<u64>) -> Result<EventL
         let t = i64::from_le_bytes(word8);
         events.push(Event::new(u, v, t));
     }
-    Ok(EventLog::from_unsorted(events, num_vertices as usize)?)
+    let mut report = IngestReport {
+        lines: count,
+        accepted: events.len(),
+        ..IngestReport::default()
+    };
+    // Probe past the declared section: a well-formed file ends exactly
+    // after the last record, so any further byte means the header's count
+    // disagrees with the content.
+    let mut trailing = 0usize;
+    let mut probe = [0u8; 4096];
+    loop {
+        match r.read(&mut probe) {
+            Ok(0) => break,
+            Ok(n) => trailing += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if trailing > 0 {
+        let message = format!("{trailing} trailing bytes after the declared {count} records");
+        match mode {
+            ParseMode::Strict => return Err(IoError::BadHeader(message)),
+            ParseMode::Lenient { .. } => {
+                report.trailing_bytes = trailing;
+                if report.diagnostics.len() < IngestReport::MAX_DIAGNOSTICS {
+                    report.diagnostics.push(message);
+                }
+            }
+        }
+    }
+    let log = EventLog::from_unsorted(events, num_vertices as usize)?;
+    Ok((log, report))
 }
 
 /// Writes the binary format to `path`.
@@ -419,9 +478,19 @@ pub fn write_binary_file<P: AsRef<Path>>(log: &EventLog, path: P) -> Result<(), 
 /// Reads the binary format from `path`, cross-checking the declared
 /// record count against the file size before allocating.
 pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<EventLog, IoError> {
+    read_binary_file_report(path, ParseMode::Strict).map(|(log, _)| log)
+}
+
+/// Reads the binary format from `path` under the given [`ParseMode`]
+/// (see [`read_binary_report`]), cross-checking the declared record count
+/// against the file size before allocating.
+pub fn read_binary_file_report<P: AsRef<Path>>(
+    path: P,
+    mode: ParseMode,
+) -> Result<(EventLog, IngestReport), IoError> {
     let f = std::fs::File::open(path)?;
     let len = f.metadata()?.len();
-    read_binary_impl(f, Some(len))
+    read_binary_impl(f, Some(len), mode)
 }
 
 #[cfg(test)]
@@ -580,6 +649,64 @@ mod tests {
         let mut bad = buf.clone();
         bad[4] = 99;
         assert!(matches!(read_binary(&bad[..]), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn binary_trailing_garbage_rejected_strict() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(b"junk after the last record");
+        match read_binary(&buf[..]) {
+            Err(IoError::BadHeader(m)) => {
+                assert!(m.contains("trailing"), "{m}");
+                assert!(m.contains("26"), "{m}");
+            }
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+        // The file path rejects it too.
+        let dir = std::env::temp_dir().join(format!("tempopr_io_trail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trail.bin");
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            read_binary_file(&path),
+            Err(IoError::BadHeader(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_trailing_garbage_counted_lenient() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_binary(&log, &mut buf).unwrap();
+        buf.extend_from_slice(&[0xAB; 7]);
+        let (back, report) = read_binary_report(
+            &buf[..],
+            ParseMode::Lenient {
+                max_bad_records: usize::MAX,
+            },
+        )
+        .unwrap();
+        assert_eq!(back, log);
+        assert_eq!(report.trailing_bytes, 7);
+        assert_eq!(report.accepted, 3);
+        assert!(!report.is_clean());
+        assert!(
+            report.summary().contains("7 trailing bytes"),
+            "{}",
+            report.summary()
+        );
+        assert!(report.diagnostics[0].contains("trailing"), "{report:?}");
+    }
+
+    #[test]
+    fn binary_clean_report_is_clean() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        let (_, report) = read_binary_report(&buf[..], ParseMode::Strict).unwrap();
+        assert_eq!(report.trailing_bytes, 0);
+        assert!(report.is_clean());
     }
 
     #[test]

@@ -19,10 +19,12 @@
 use crate::pagerank::{local_push_pagerank, streaming_pagerank_obs};
 use crate::store::StreamingGraph;
 use std::cell::Cell;
+use std::sync::Arc;
+use tempopr_core::checkpoint::{self, CheckpointOptions, CheckpointRecord, CheckpointSink};
 use tempopr_core::exec::{
     oracle_from_events, run_windows, RecoveryPolicy, WindowExecutor, WindowSource,
 };
-use tempopr_core::{EngineError, RunOutput};
+use tempopr_core::{EngineError, RunOutput, WindowOutput};
 use tempopr_core::{FaultPlan, RetainMode, TelemetryKernelBridge};
 use tempopr_graph::{EventLog, WindowSpec};
 use tempopr_kernel::{thread_pool, Init, Obs, PrConfig, PrWorkspace, Scheduler};
@@ -125,17 +127,95 @@ pub fn run_streaming_traced(
     cfg: &StreamingConfig,
     tele: &Telemetry,
 ) -> Result<RunOutput, EngineError> {
-    let inner = || run_streaming_inner(log, spec, cfg, tele);
+    run_streaming_durable(log, spec, cfg, &CheckpointOptions::default(), tele)
+}
+
+/// [`run_streaming_traced`] with durability ([`tempopr_core::checkpoint`]):
+/// finalized windows are persisted as `tempopr.ckpt.v1` records when `opts`
+/// names a checkpoint directory, and a resume source's valid prefix is
+/// restored instead of recomputed.
+///
+/// The streaming store is stateful, so resume replays the skipped windows'
+/// insert/delete batches — without running any kernel — to rebuild the one
+/// live graph operation-for-operation, then seeds the warm-start chain from
+/// the last checkpointed ranks. The replay reproduces the store bit-exactly
+/// (batches are a pure function of the event log and window spec), so the
+/// combined output is bit-identical to an uninterrupted run; if the last
+/// durable window had failed, the chain restarts cold exactly as the
+/// uninterrupted run would.
+pub fn run_streaming_durable(
+    log: &EventLog,
+    spec: WindowSpec,
+    cfg: &StreamingConfig,
+    opts: &CheckpointOptions,
+    tele: &Telemetry,
+) -> Result<RunOutput, EngineError> {
+    let header = checkpoint::ManifestHeader::new(
+        checkpoint::DRIVER_STREAMING,
+        streaming_config_hash(cfg),
+        checkpoint::log_fingerprint(log),
+        &spec,
+    );
+    let mut prefix: Vec<CheckpointRecord> = Vec::new();
+    if let Some(from) = &opts.resume {
+        let scan = {
+            let _t = tele.phase(RunPhase::ResumeScan);
+            checkpoint::resume_scan(from, &header)?
+        };
+        tele.add("checkpoint.corrupt_discarded", scan.corrupt_discarded);
+        prefix = scan.records;
+        prefix.truncate(spec.count);
+    }
+    let start = prefix.len();
+    tele.add("checkpoint.resume_skipped", start as u64);
+    // The warm-start seed: the last durable window's ranks, if it was
+    // valid. An invalid tail record leaves `seed` empty and the first
+    // recomputed window cold-restarts, like the uninterrupted run.
+    let seed = (start > 0)
+        .then(|| {
+            let last = &prefix[start - 1];
+            last.status
+                .is_valid()
+                .then(|| last.ranks.to_dense(log.num_vertices()))
+        })
+        .flatten();
+    let mut restored: Vec<WindowOutput> = prefix.iter().map(|r| r.to_output(cfg.retain)).collect();
+    let ckpt = match &opts.dir {
+        Some(dir) => Some(Arc::new(CheckpointSink::create(
+            dir,
+            &header,
+            &prefix,
+            opts.every,
+            cfg.faults.crash_after_checkpoint,
+            tele.clone(),
+        )?)),
+        None => None,
+    };
+    let inner = || run_streaming_inner(log, spec, cfg, start, seed, ckpt.as_ref(), tele);
     let mut out = if cfg.threads > 0 {
         thread_pool(cfg.threads)?.install(inner)
     } else {
         inner()
     };
+    if let Some(sink) = &ckpt {
+        sink.finish();
+    }
+    out.windows.append(&mut restored);
+    out.windows.sort_by_key(|w| w.window);
     out.finalize_status();
     out.assert_complete(spec.count);
     tele.add("windows.total", out.windows.len() as u64);
     tele.set_gauge("run.degraded", f64::from(u8::from(out.degraded)));
     Ok(out)
+}
+
+/// Compatibility hash of a streaming configuration: FNV-1a over the
+/// config's `Debug` rendering with crash injection masked out (the crashed
+/// run and its resume differ exactly there).
+fn streaming_config_hash(cfg: &StreamingConfig) -> u64 {
+    let mut c = cfg.clone();
+    c.faults.crash_after_checkpoint = None;
+    checkpoint::hash_config(&format!("{c:?}"))
 }
 
 /// [`WindowSource`] of the streaming model: applies each window's update
@@ -196,14 +276,20 @@ fn run_streaming_inner(
     log: &EventLog,
     spec: WindowSpec,
     cfg: &StreamingConfig,
+    start: usize,
+    seed: Option<Vec<f64>>,
+    ckpt: Option<&Arc<CheckpointSink>>,
     tele: &Telemetry,
 ) -> RunOutput {
     let n = log.num_vertices();
     let mut ws = PrWorkspace::default();
-    let mut prev: Vec<f64> = vec![0.0; n];
-    let mut have_prev = false;
+    let (mut prev, mut have_prev) = match seed {
+        Some(s) => (s, true),
+        None => (vec![0.0; n], false),
+    };
     let sched = cfg.parallel_kernel.then_some(&cfg.scheduler);
-    let executor = WindowExecutor::new(tele, &cfg.pr, cfg.recovery, cfg.retain);
+    let executor =
+        WindowExecutor::new(tele, &cfg.pr, cfg.recovery, cfg.retain).with_checkpoint(ckpt.cloned());
     let mut source = StreamSource {
         log,
         spec,
@@ -212,8 +298,14 @@ fn run_streaming_inner(
         graph: StreamingGraph::new(n),
         touched: Vec::new(),
     };
+    // Resume replay: re-apply the skipped windows' insert/delete batches —
+    // kernels stay off — so the one live store reaches window `start - 1`'s
+    // exact state before recomputation begins.
+    for w in 0..start {
+        source.setup(w);
+    }
 
-    let windows = run_windows(&mut source, 0..spec.count, None, tele, |src, w, _| {
+    let windows = run_windows(&mut source, start..spec.count, None, tele, |src, w, _| {
         let range = spec.window(w);
         // A broken warm-start chain is the streaming model's baseline
         // recovery story: the window after a failure recomputes from a

@@ -17,6 +17,8 @@ pub mod driver;
 pub mod pagerank;
 pub mod store;
 
-pub use driver::{run_streaming, run_streaming_traced, IncrementalMode, StreamingConfig};
+pub use driver::{
+    run_streaming, run_streaming_durable, run_streaming_traced, IncrementalMode, StreamingConfig,
+};
 pub use pagerank::{local_push_pagerank, streaming_pagerank, streaming_pagerank_obs};
 pub use store::{StreamingGraph, BLOCK_SIZE};

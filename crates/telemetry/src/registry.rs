@@ -33,17 +33,24 @@ pub enum Phase {
     /// Time the pipelined executor spent waiting for an overlapped
     /// window-setup prefetch that had not finished when the kernel did.
     PipelineStall,
+    /// Durable checkpoint appends: record encoding, `write_all`, fsync.
+    CheckpointWrite,
+    /// Resume-time manifest scan: header verification plus the
+    /// longest-valid-prefix record walk.
+    ResumeScan,
 }
 
 impl Phase {
     /// All phases, in reporting order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Build,
         Phase::WindowSetup,
         Phase::Spmv,
         Phase::ConvergenceCheck,
         Phase::Recovery,
         Phase::PipelineStall,
+        Phase::CheckpointWrite,
+        Phase::ResumeScan,
     ];
 
     /// Number of phases.
@@ -58,6 +65,8 @@ impl Phase {
             Phase::ConvergenceCheck => "convergence_check",
             Phase::Recovery => "recovery",
             Phase::PipelineStall => "pipeline_stall",
+            Phase::CheckpointWrite => "checkpoint_write",
+            Phase::ResumeScan => "resume_scan",
         }
     }
 
@@ -69,6 +78,8 @@ impl Phase {
             Phase::ConvergenceCheck => 3,
             Phase::Recovery => 4,
             Phase::PipelineStall => 5,
+            Phase::CheckpointWrite => 6,
+            Phase::ResumeScan => 7,
         }
     }
 }
@@ -302,7 +313,9 @@ mod tests {
                 "spmv",
                 "convergence_check",
                 "recovery",
-                "pipeline_stall"
+                "pipeline_stall",
+                "checkpoint_write",
+                "resume_scan"
             ]
         );
     }

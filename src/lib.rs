@@ -59,10 +59,11 @@ pub use tempopr_telemetry as telemetry;
 pub mod prelude {
     pub use tempopr_analytics::{temporal_structure, StructureConfig, StructureSummary};
     pub use tempopr_core::{
-        run_offline, run_offline_traced, suggest, EngineError, FaultPlan, InitMode, KernelKind,
-        OfflineConfig, ParallelMode, PostmortemConfig, PostmortemEngine, RecoveryKind,
-        RecoveryPolicy, RetainMode, RunOutput, SparseRanks, WindowFault, WindowOutput,
-        WindowStatus,
+        corrupt_manifest, resume_scan, run_offline, run_offline_durable, run_offline_traced,
+        suggest, CheckpointError, CheckpointOptions, CorruptionKind, EngineError, FaultPlan,
+        InitMode, KernelKind, OfflineConfig, ParallelMode, PostmortemConfig, PostmortemEngine,
+        RecoveryKind, RecoveryPolicy, RetainMode, RunOutput, SparseRanks, WindowFault,
+        WindowOutput, WindowStatus,
     };
     pub use tempopr_datagen::{Dataset, DatasetSpec, DAY};
     pub use tempopr_graph::{Event, EventLog, IngestReport, ParseMode, TimeRange, WindowSpec};
@@ -71,7 +72,8 @@ pub mod prelude {
         SimdPolicy,
     };
     pub use tempopr_stream::{
-        run_streaming, run_streaming_traced, IncrementalMode, StreamingConfig,
+        run_streaming, run_streaming_durable, run_streaming_traced, IncrementalMode,
+        StreamingConfig,
     };
     pub use tempopr_telemetry::{RunReport, Telemetry};
 }

@@ -1,0 +1,173 @@
+//! Property-based tests of `core::warmstart::carry_ranks`, the cross-part
+//! remap behind `InitMode::Warm`: against a brute-force hash-map
+//! reference on arbitrary sorted vertex maps, plus the edge cases a
+//! merge-join is easiest to get wrong — a single shared vertex, all rank
+//! mass below the degeneracy threshold, and maps that (illegally) contain
+//! duplicate ids.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tempopr::core::warmstart::{carry_ranks, CarryStats, MIN_CARRY_MASS};
+
+/// Brute-force reference: look every new-part vertex up in a hash map of
+/// the previous part, keeping finite strictly-positive ranks only.
+fn reference_carry(
+    prev_map: &[u32],
+    prev_ranks: &[f64],
+    new_map: &[u32],
+) -> (Vec<f64>, Option<CarryStats>) {
+    let by_global: HashMap<u32, f64> = prev_map
+        .iter()
+        .copied()
+        .zip(prev_ranks.iter().copied())
+        .collect();
+    let mut out = vec![0.0; new_map.len()];
+    let mut shared = 0usize;
+    let mut mass = 0.0f64;
+    for (j, g) in new_map.iter().enumerate() {
+        if let Some(&r) = by_global.get(g) {
+            if r.is_finite() && r > 0.0 {
+                out[j] = r;
+                shared += 1;
+                mass += r;
+            }
+        }
+    }
+    let stats = (shared > 0 && mass > MIN_CARRY_MASS).then_some(CarryStats { shared, mass });
+    (out, stats)
+}
+
+/// Turns raw draws into a sorted, deduplicated local→global vertex map
+/// (the contract of `MultiWindowGraph::vertex_map`).
+fn sorted_dedup(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Decodes a `(tag, mantissa)` draw into a rank value covering the edge
+/// cases: zero, sub-threshold tiny, poisoned NaN/Inf, ordinary positive
+/// (the majority of tags).
+fn decode_rank(tag: u32, m: u32) -> f64 {
+    match tag {
+        0 => 0.0,
+        1 => 1e-15,
+        2 => f64::NAN,
+        3 => f64::INFINITY,
+        _ => (m as f64 + 1.0) / 1024.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_brute_force_reference(
+        prev_raw in prop::collection::vec(0u32..64, 0..24),
+        new_raw in prop::collection::vec(0u32..64, 0..24),
+        rank_raw in prop::collection::vec((0u32..12, 0u32..1024), 24..25),
+    ) {
+        let prev_map = sorted_dedup(prev_raw);
+        let new_map = sorted_dedup(new_raw);
+        let prev_ranks: Vec<f64> = (0..prev_map.len())
+            .map(|i| decode_rank(rank_raw[i].0, rank_raw[i].1))
+            .collect();
+        let mut out = Vec::new();
+        let got = carry_ranks(&prev_map, &prev_ranks, &new_map, &mut out);
+        let (want_out, want_stats) = reference_carry(&prev_map, &prev_ranks, &new_map);
+        prop_assert_eq!(out.len(), new_map.len());
+        for (j, (&a, &b)) in out.iter().zip(want_out.iter()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "slot {}", j);
+        }
+        match (got, want_stats) {
+            (None, None) => {}
+            (Some(g), Some(w)) => {
+                prop_assert_eq!(g.shared, w.shared);
+                prop_assert!((g.mass - w.mass).abs() <= 1e-12 * w.mass.abs().max(1.0));
+            }
+            (g, w) => prop_assert!(false, "verdicts differ: got {:?}, want {:?}", g, w),
+        }
+        // A seed is only ever finite and non-negative, poisoned inputs
+        // notwithstanding.
+        prop_assert!(out.iter().all(|r| r.is_finite() && *r >= 0.0));
+    }
+
+    #[test]
+    fn single_shared_vertex_carries_iff_mass_survives(
+        g in 0u32..64,
+        tag in 0u32..6,
+        m in 0u32..1024,
+    ) {
+        // tag 0 = zero rank, 1 = sub-threshold, else ordinary positive.
+        let r = match tag {
+            0 => 0.0,
+            1 => 1e-15,
+            _ => (m as f64 + 1.0) / 1024.0,
+        };
+        // prev = {g}, new = {g, g+1000}: exactly one candidate overlap.
+        let prev_map = [g];
+        let new_map = [g, g + 1000];
+        let mut out = Vec::new();
+        let got = carry_ranks(&prev_map, &[r], &new_map, &mut out);
+        if r > MIN_CARRY_MASS {
+            let stats = got.expect("positive mass through one shared vertex must carry");
+            prop_assert_eq!(stats.shared, 1);
+            prop_assert_eq!(out[0].to_bits(), r.to_bits());
+            prop_assert_eq!(out[1].to_bits(), 0.0f64.to_bits());
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+
+    #[test]
+    fn all_mass_below_epsilon_is_degenerate(
+        raw in prop::collection::vec(0u32..64, 1..24),
+    ) {
+        // Every shared vertex carries 1e-16: individually positive and
+        // finite, collectively (at most 24 of them) far below
+        // MIN_CARRY_MASS.
+        let map = sorted_dedup(raw);
+        let ranks = vec![1e-16; map.len()];
+        let mut out = Vec::new();
+        prop_assert_eq!(carry_ranks(&map, &ranks, &map, &mut out), None);
+        prop_assert_eq!(out.len(), map.len());
+    }
+}
+
+#[test]
+fn duplicate_ids_in_maps_do_not_panic() {
+    // Vertex maps are sorted *sets* by contract; a duplicated id (from a
+    // corrupted part) must degrade gracefully, never panic or emit
+    // non-finite seeds.
+    let cases: [(&[u32], &[f64], &[u32]); 4] = [
+        (&[3, 3, 5], &[0.2, 0.3, 0.5], &[3, 5]),
+        (&[3, 5], &[0.4, 0.6], &[3, 3, 5]),
+        (&[7, 7, 7], &[0.1, 0.2, 0.3], &[7, 7]),
+        (&[0, 0], &[0.5, 0.5], &[0]),
+    ];
+    for (prev_map, prev_ranks, new_map) in cases {
+        let mut out = Vec::new();
+        let got = carry_ranks(prev_map, prev_ranks, new_map, &mut out);
+        assert_eq!(out.len(), new_map.len());
+        assert!(out.iter().all(|r| r.is_finite() && *r >= 0.0), "{out:?}");
+        if let Some(stats) = got {
+            assert!(stats.shared > 0 && stats.mass > MIN_CARRY_MASS);
+        }
+    }
+}
+
+#[test]
+fn single_shared_vertex_across_large_disjoint_maps() {
+    // Two big parts sharing exactly one vertex in the middle: the merge
+    // join must find it regardless of how much it skips on either side.
+    let prev_map: Vec<u32> = (0..200).map(|i| i * 2).collect(); // evens
+    let mut new_map: Vec<u32> = (0..200).map(|i| i * 2 + 1001).collect(); // odds >= 1001
+    new_map.insert(0, 100); // the one shared (even) vertex
+    let prev_ranks: Vec<f64> = (0..200).map(|i| 1.0 + i as f64).collect();
+    let mut out = Vec::new();
+    let stats = carry_ranks(&prev_map, &prev_ranks, &new_map, &mut out).unwrap();
+    assert_eq!(stats.shared, 1);
+    assert_eq!(stats.mass, 51.0); // vertex 100 = prev index 50, rank 51
+    assert_eq!(out[0], 51.0);
+    assert!(out[1..].iter().all(|&r| r == 0.0));
+}

@@ -143,6 +143,7 @@ fn multi_fault_replay_recovers_each_time() {
                     fault: FaultKind::CorruptReciprocal,
                 },
             ],
+            crash_after_checkpoint: None,
         },
         ..base
     };
